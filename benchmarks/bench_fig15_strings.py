@@ -1,0 +1,68 @@
+"""Figure 15 — string compression: LeCo's extension vs FSST (§4.7).
+
+On email / hex / word: FSST with offset delta-block sizes
+{0, 20, 40, 60, 80, 100} (trading random access for ratio) against LeCo
+with the power-of-two and tight character-set bases.  The paper's claims:
+LeCo is faster at random access with competitive ratios on email/hex;
+FSST's dictionary approach wins on human-readable words.
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.baselines import FSSTCodec
+from repro.bench import render_table
+from repro.core.strings import StringCompressor
+from repro.datasets import load_strings
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit, headline
+
+FSST_BLOCKS = [0, 20, 40, 60, 80, 100]
+
+
+def _measure(encoded, data, probes: int = 400):
+    rng = np.random.default_rng(0)
+    positions = rng.integers(0, len(data), probes)
+    start = time.perf_counter()
+    for pos in positions:
+        encoded.get(int(pos))
+    ra_ns = (time.perf_counter() - start) / probes * 1e9
+    raw = sum(len(s) for s in data)
+    return encoded.compressed_size_bytes() / raw, ra_ns
+
+
+def run_experiment(n: int = 8000) -> str:
+    rows = []
+    for name in ("email", "hex", "word"):
+        data = load_strings(name, n)
+        for block in FSST_BLOCKS:
+            enc = FSSTCodec(offset_block=block).encode(data)
+            assert enc.decode_all() == data
+            ratio, ra = _measure(enc, data)
+            rows.append([name, f"fsst(b={block})", f"{ratio:.1%}",
+                         f"{ra:.0f}"])
+        for pow2 in (True, False):
+            comp = StringCompressor(partition_size=128,
+                                    power_of_two_base=pow2).encode(data)
+            assert comp.decode_all() == data
+            ratio, ra = _measure(comp, data)
+            base = comp.partitions[0].base
+            rows.append([name, f"leco(base={base})", f"{ratio:.1%}",
+                         f"{ra:.0f}"])
+    return headline(
+        "Figure 15: string evaluation",
+        "ratio and random-access latency; FSST sweeps the offset "
+        "delta-block, LeCo sweeps the character-set base",
+    ) + render_table(["dataset", "config", "ratio", "RA ns"], rows)
+
+
+def test_fig15_strings(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(result)
+
+
+if __name__ == "__main__":
+    emit(run_experiment())

@@ -1,0 +1,42 @@
+"""Quickstart: compress an integer column with LeCo.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import compress, decompress
+
+# A typical "serial correlated" column: event timestamps with jitter.
+rng = np.random.default_rng(42)
+timestamps = 1_700_000_000 + np.cumsum(rng.poisson(40, 100_000))
+
+# One call compresses: fit models per partition, bit-pack the residuals.
+arr = compress(timestamps, mode="fix")
+
+raw_bytes = timestamps.nbytes
+print(f"rows:              {len(arr):,}")
+print(f"raw size:          {raw_bytes:,} bytes")
+print(f"compressed size:   {arr.compressed_size_bytes():,} bytes "
+      f"({arr.compressed_size_bytes() / raw_bytes:.1%})")
+print(f"model share:       {arr.model_size_bytes():,} bytes")
+print(f"partitions:        {len(arr.partitions)}")
+
+# Random access decodes one value without touching the rest of the column.
+print(f"\ntimestamps[12345]  = {timestamps[12345]}")
+print(f"arr[12345]         = {arr[12345]}")
+assert arr[12345] == timestamps[12345]
+
+# Range decode and full decode are exact.
+assert np.array_equal(arr.decode_range(500, 600), timestamps[500:600])
+assert np.array_equal(decompress(arr), timestamps)
+
+# The format is self-describing: serialise, ship, reload.
+blob = arr.to_bytes()
+assert np.array_equal(decompress(blob), timestamps)
+print(f"\nserialised format: {len(blob):,} bytes, round trip OK")
+
+# Variable-length partitioning squeezes harder on irregular data.
+var = compress(timestamps, mode="var", tau=0.05)
+print(f"variable-length:   {var.compressed_size_bytes():,} bytes "
+      f"({len(var.partitions)} partitions)")

@@ -1,0 +1,43 @@
+"""Compressing string columns: LeCo's extension vs FSST (paper §3.4, §4.7).
+
+Order-preserving string-to-integer mapping with common-prefix extraction,
+character-set shrinking, and adaptive padding — versus the dictionary-based
+FSST baseline — on email / hex / word shaped data.
+
+Run:  python examples/string_columns.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.baselines import FSSTCodec
+from repro.core.strings import StringCompressor
+from repro.datasets import load_strings
+
+rng = np.random.default_rng(0)
+
+print(f"{'dataset':>7}  {'codec':>14}  {'ratio':>6}  {'RA us':>6}")
+for name in ("email", "hex", "word"):
+    data = load_strings(name, 6000)
+    raw = sum(len(s) for s in data)
+    configs = [
+        ("leco(pow2)", StringCompressor(128, power_of_two_base=True)),
+        ("leco(tight)", StringCompressor(128, power_of_two_base=False)),
+        ("fsst(b=0)", FSSTCodec(offset_block=0)),
+        ("fsst(b=100)", FSSTCodec(offset_block=100)),
+    ]
+    for label, codec in configs:
+        enc = codec.encode(data)
+        assert enc.decode_all() == data, label   # lossless, order intact
+        probes = rng.integers(0, len(data), 300)
+        start = time.perf_counter()
+        for pos in probes:
+            enc.get(int(pos))
+        ra_us = (time.perf_counter() - start) / len(probes) * 1e6
+        ratio = enc.compressed_size_bytes() / raw
+        print(f"{name:>7}  {label:>14}  {ratio:6.1%}  {ra_us:6.1f}")
+
+print("\nLeCo leverages serial order (sorted keys map to near-linear "
+      "integers); FSST leverages substring repetition — which is why FSST "
+      "wins on human-readable words and LeCo on machine-generated keys.")

@@ -1,0 +1,15 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments that lack the ``wheel``
+package (legacy editable installs via ``--no-use-pep517`` need a setup.py).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -1,0 +1,37 @@
+"""repro — a from-scratch reproduction of LeCo (SIGMOD'24).
+
+LeCo (Learned Compression) removes *serial* redundancy from columnar data:
+fit a lightweight regression model per partition, store only bit-packed
+prediction residuals, and decode any position with one model inference plus
+one slot read.
+
+Public surface:
+
+* :func:`repro.compress` / :func:`repro.decompress` — integer columns;
+* :class:`repro.StringCompressor` — varchar columns (§3.4);
+* :mod:`repro.baselines` — FOR, RLE, Delta, Elias-Fano, rANS, FSST;
+* :mod:`repro.engine` — Arrow/Parquet-like columnar engine (§5.1);
+* :mod:`repro.kvstore` — RocksDB-like LSM store (§5.2);
+* :mod:`repro.datasets` — every dataset family from the evaluation.
+"""
+
+from repro.core import (
+    CompressedArray,
+    CompressedStrings,
+    LecoEncoder,
+    StringCompressor,
+    compress,
+    decompress,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "compress",
+    "decompress",
+    "CompressedArray",
+    "CompressedStrings",
+    "LecoEncoder",
+    "StringCompressor",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Baseline compression schemes evaluated against LeCo (paper §4.1)."""
+
+from repro.baselines.base import Codec, EncodedSequence, as_int64
+from repro.baselines.delta import DeltaCodec, DeltaCostAdapter
+from repro.baselines.elias_fano import EliasFanoCodec, EliasFanoSequence
+from repro.baselines.fsst import FSSTCodec, build_symbol_table
+from repro.baselines.leco import FORCodec, LecoCodec, LecoEncodedSequence
+from repro.baselines.rans import RansCodec, infer_value_width
+from repro.baselines.rle import RLECodec
+
+
+def standard_codecs(include_rans: bool = True) -> list[Codec]:
+    """The paper's Fig. 10 line-up (Elias-Fano added where applicable)."""
+    codecs: list[Codec] = []
+    if include_rans:
+        codecs.append(RansCodec())
+    codecs += [
+        FORCodec(),
+        DeltaCodec("fix"),
+        DeltaCodec("var"),
+        LecoCodec("linear", partitioner="fixed"),
+        LecoCodec("linear", partitioner="variable"),
+    ]
+    return codecs
+
+
+__all__ = [
+    "Codec",
+    "EncodedSequence",
+    "as_int64",
+    "DeltaCodec",
+    "DeltaCostAdapter",
+    "EliasFanoCodec",
+    "EliasFanoSequence",
+    "FSSTCodec",
+    "build_symbol_table",
+    "FORCodec",
+    "LecoCodec",
+    "LecoEncodedSequence",
+    "RansCodec",
+    "infer_value_width",
+    "RLECodec",
+    "standard_codecs",
+]

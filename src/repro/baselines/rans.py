@@ -1,0 +1,143 @@
+"""rANS: range asymmetric numeral systems entropy coder (paper §4.1).
+
+A static byte-oriented rANS with 12-bit quantised frequencies, operating on
+the little-endian byte image of the sequence (the dataset's natural value
+width).  rANS represents the dictionary/entropy family in the benchmark:
+it approaches Shannon's entropy of the byte distribution but is blind to
+serial correlation — the contrast the paper draws in §4.3.1.
+
+Decoding is strictly sequential; random access decodes a prefix, which is
+why the paper reports ~10^5–10^6 ns random-access latencies for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Codec, EncodedSequence, as_int64
+
+_PROB_BITS = 12
+_PROB_SCALE = 1 << _PROB_BITS
+_RANS_L = 1 << 23  # renormalisation lower bound (byte-wise emission)
+
+
+def _quantise_freqs(counts: np.ndarray) -> np.ndarray:
+    """Scale symbol counts to sum to 2**12 with no used symbol at zero."""
+    total = counts.sum()
+    if total == 0:
+        freqs = np.zeros(256, dtype=np.int64)
+        freqs[0] = _PROB_SCALE
+        return freqs
+    freqs = np.maximum((counts * _PROB_SCALE) // total, 0).astype(np.int64)
+    freqs[(counts > 0) & (freqs == 0)] = 1
+    # fix the rounding drift by adjusting the most frequent symbol
+    drift = _PROB_SCALE - freqs.sum()
+    freqs[int(np.argmax(freqs))] += drift
+    if freqs.min() < 0 or freqs.sum() != _PROB_SCALE:
+        raise AssertionError("frequency quantisation failed")
+    return freqs
+
+
+class RansEncodedSequence(EncodedSequence):
+    def __init__(self, n: int, width: int, freqs: np.ndarray,
+                 payload: bytes, state: int):
+        self.n = n
+        self.width = width
+        self._freqs = freqs
+        self._cum = np.concatenate([[0], np.cumsum(freqs)]).astype(np.int64)
+        self._payload = payload
+        self._state = state
+        # symbol lookup: slot -> symbol
+        self._slot_to_sym = np.repeat(
+            np.arange(256, dtype=np.uint8), freqs).astype(np.uint8)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def _decode_bytes(self, count: int) -> np.ndarray:
+        out = np.empty(count, dtype=np.uint8)
+        state = self._state
+        payload = self._payload
+        pos = 0
+        cum = self._cum
+        freqs = self._freqs
+        slot_to_sym = self._slot_to_sym
+        mask = _PROB_SCALE - 1
+        for i in range(count):
+            slot = state & mask
+            sym = slot_to_sym[slot]
+            out[i] = sym
+            state = (int(freqs[sym]) * (state >> _PROB_BITS)
+                     + slot - int(cum[sym]))
+            while state < _RANS_L and pos < len(payload):
+                state = (state << 8) | payload[pos]
+                pos += 1
+        return out
+
+    def decode_all(self) -> np.ndarray:
+        raw = self._decode_bytes(self.n * self.width)
+        if self.n == 0:
+            return np.empty(0, dtype=np.int64)
+        padded = np.zeros((self.n, 8), dtype=np.uint8)
+        padded[:, : self.width] = raw.reshape(self.n, self.width)
+        return padded.view(np.uint64).ravel().astype(np.int64)
+
+    def get(self, position: int) -> int:
+        if not 0 <= position < self.n:
+            raise IndexError(f"position {position} out of [0, {self.n})")
+        raw = self._decode_bytes((position + 1) * self.width)
+        chunk = raw[position * self.width: (position + 1) * self.width]
+        value = 0
+        for byte in chunk[::-1]:
+            value = (value << 8) | int(byte)
+        return value
+
+    def compressed_size_bytes(self) -> int:
+        # freq table: 256 x 12 bits; state: 4 bytes; header: 9
+        return len(self._payload) + (256 * _PROB_BITS) // 8 + 4 + 9
+
+
+class RansCodec(Codec):
+    """Static byte-wise rANS over the value bytes."""
+
+    name = "rans"
+    sequential_access = True
+
+    def __init__(self, width: int | None = None):
+        self.width = width
+
+    def encode(self, values: np.ndarray) -> RansEncodedSequence:
+        values = as_int64(values)
+        width = self.width or infer_value_width(values)
+        raw = values.astype(np.uint64).view(np.uint8).reshape(-1, 8)
+        stream = np.ascontiguousarray(raw[:, :width]).ravel()
+        counts = np.bincount(stream, minlength=256).astype(np.int64)
+        freqs = _quantise_freqs(counts)
+        cum = np.concatenate([[0], np.cumsum(freqs)]).astype(np.int64)
+
+        # encode in reverse so the decoder reads forwards
+        state = _RANS_L
+        out = bytearray()
+        for sym in stream[::-1]:
+            freq = int(freqs[sym])
+            # renormalise: flush low bytes while the state is too large
+            max_state = ((_RANS_L >> _PROB_BITS) << 8) * freq
+            while state >= max_state:
+                out.append(state & 0xFF)
+                state >>= 8
+            state = ((state // freq) << _PROB_BITS) + state % freq \
+                + int(cum[sym])
+        out.reverse()
+        return RansEncodedSequence(len(values), width, freqs, bytes(out),
+                                   state)
+
+
+def infer_value_width(values: np.ndarray) -> int:
+    """Natural byte width of the data (4 for 32-bit ranges, else 8)."""
+    values = as_int64(values)
+    if values.size == 0:
+        return 4
+    lo, hi = int(values.min()), int(values.max())
+    if lo >= 0 and hi < (1 << 32):
+        return 4
+    return 8

@@ -1,0 +1,59 @@
+"""Run-Length Encoding: the "identical frame" special case of FOR (paper §2).
+
+Stores (value, run length) pairs; random access binary-searches the
+cumulative run starts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Codec, EncodedSequence, as_int64
+from repro.bitio import BitPackedArray, zigzag_decode, zigzag_encode
+
+
+class RLEEncodedSequence(EncodedSequence):
+    def __init__(self, n: int, run_values: np.ndarray,
+                 run_starts: np.ndarray):
+        self.n = n
+        self._values = run_values
+        self._starts = run_starts
+        self._packed_values = BitPackedArray.from_values(
+            zigzag_encode(run_values))
+        self._packed_starts = BitPackedArray.from_values(
+            run_starts.astype(np.uint64))
+
+    def __len__(self) -> int:
+        return self.n
+
+    def get(self, position: int) -> int:
+        if not 0 <= position < self.n:
+            raise IndexError(f"position {position} out of [0, {self.n})")
+        idx = int(np.searchsorted(self._starts, position, side="right")) - 1
+        return int(self._values[idx])
+
+    def decode_all(self) -> np.ndarray:
+        if self.n == 0:
+            return np.empty(0, dtype=np.int64)
+        lengths = np.diff(np.append(self._starts, self.n))
+        return np.repeat(self._values, lengths)
+
+    def compressed_size_bytes(self) -> int:
+        return self._packed_values.nbytes + self._packed_starts.nbytes + 18
+
+    @property
+    def run_count(self) -> int:
+        return len(self._values)
+
+
+class RLECodec(Codec):
+    name = "rle"
+
+    def encode(self, values: np.ndarray) -> RLEEncodedSequence:
+        values = as_int64(values)
+        if len(values) == 0:
+            return RLEEncodedSequence(0, np.empty(0, dtype=np.int64),
+                                      np.empty(0, dtype=np.int64))
+        change = np.flatnonzero(np.diff(values)) + 1
+        starts = np.concatenate([[0], change]).astype(np.int64)
+        return RLEEncodedSequence(len(values), values[starts], starts)

@@ -1,0 +1,7 @@
+"""Benchmark harness utilities shared by benchmarks/."""
+
+from repro.bench.harness import Measurement, measure_codec, weighted_average
+from repro.bench.report import percent, render_table
+
+__all__ = ["Measurement", "measure_codec", "weighted_average",
+           "render_table", "percent"]

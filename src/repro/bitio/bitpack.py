@@ -1,0 +1,226 @@
+"""Fixed-width bit packing with O(1) random access.
+
+All codecs in the library store their residual ("delta") arrays with this
+format: ``n`` unsigned integers, each occupying exactly ``width`` bits,
+concatenated MSB-first into a byte buffer.  ``width == 0`` encodes the
+degenerate (but common) case where every value is zero and no payload is
+stored at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_U64_MAX = (1 << 64) - 1
+
+
+def bits_for_unsigned(value: int) -> int:
+    """Number of bits needed to represent the unsigned integer ``value``.
+
+    ``bits_for_unsigned(0) == 0`` by convention: an all-zero array packs to an
+    empty payload.
+    """
+    if value < 0:
+        raise ValueError(f"expected unsigned value, got {value}")
+    return int(value).bit_length()
+
+
+def bits_for_signed_maxabs(maxabs: int) -> int:
+    """Bits needed for a signed value whose magnitude is at most ``maxabs``.
+
+    This matches the paper's ``ceil(log2(delta_maxabs))`` plus one sign bit,
+    implemented as the zigzag width of the worst case.
+    """
+    if maxabs < 0:
+        raise ValueError(f"maxabs must be non-negative, got {maxabs}")
+    if maxabs == 0:
+        return 0
+    return bits_for_unsigned(2 * maxabs)
+
+
+def bits_for_range(span: int) -> int:
+    """Bits needed for bias-encoded values covering ``[0, span]``."""
+    return bits_for_unsigned(span)
+
+
+def pack_unsigned(values: np.ndarray, width: int) -> bytes:
+    """Pack ``values`` (unsigned, each < 2**width) into an MSB-first buffer."""
+    values = np.ascontiguousarray(values, dtype=np.uint64)
+    if width < 0 or width > 64:
+        raise ValueError(f"width must be in [0, 64], got {width}")
+    if width == 0:
+        if values.size and int(values.max()) != 0:
+            raise ValueError("width 0 requires all values to be zero")
+        return b""
+    if values.size == 0:
+        return b""
+    limit = _U64_MAX if width == 64 else (1 << width) - 1
+    if int(values.max()) > limit:
+        raise ValueError(f"value {int(values.max())} does not fit in {width} bits")
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+    bits = ((values[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
+    flat = bits.ravel()
+    pad = (-flat.size) % 8
+    if pad:
+        flat = np.concatenate([flat, np.zeros(pad, dtype=np.uint8)])
+    return np.packbits(flat).tobytes()
+
+
+def unpack_unsigned(data: bytes, width: int, count: int) -> np.ndarray:
+    """Vectorised inverse of :func:`pack_unsigned`; returns ``uint64`` array."""
+    if width == 0 or count == 0:
+        return np.zeros(count, dtype=np.uint64)
+    raw = np.frombuffer(data, dtype=np.uint8)
+    bits = np.unpackbits(raw)[: count * width].reshape(count, width)
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+    return (bits.astype(np.uint64) << shifts[None, :]).sum(
+        axis=1, dtype=np.uint64
+    )
+
+
+def pack_unsigned_big(values: list[int], width: int) -> bytes:
+    """Pack arbitrary-precision unsigned ints (width may exceed 64 bits).
+
+    Used by the string extension, whose order-preserving string-to-integer
+    mapping can exceed the machine word.  A classic MSB-first bit writer.
+    """
+    if width == 0:
+        if any(v != 0 for v in values):
+            raise ValueError("width 0 requires all values to be zero")
+        return b""
+    out = bytearray()
+    acc = 0
+    nbits = 0
+    limit = 1 << width
+    for value in values:
+        if not 0 <= value < limit:
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        acc = (acc << width) | value
+        nbits += width
+        while nbits >= 8:
+            nbits -= 8
+            out.append((acc >> nbits) & 0xFF)
+        acc &= (1 << nbits) - 1
+    if nbits:
+        out.append((acc << (8 - nbits)) & 0xFF)
+    return bytes(out)
+
+
+def read_slot(data: bytes, width: int, index: int) -> int:
+    """Read the ``index``-th ``width``-bit slot from ``data`` in O(1).
+
+    This is the random-access path used by the decoders: two bounded memory
+    reads (the covering bytes) plus shift/mask arithmetic.
+    """
+    if width == 0:
+        return 0
+    bit_start = index * width
+    bit_end = bit_start + width
+    byte_start = bit_start >> 3
+    byte_end = (bit_end + 7) >> 3
+    chunk = int.from_bytes(data[byte_start:byte_end], "big")
+    tail = byte_end * 8 - bit_end
+    return (chunk >> tail) & ((1 << width) - 1)
+
+
+class BitPackedArray:
+    """An immutable fixed-width bit-packed vector of unsigned integers.
+
+    Supports O(1) ``__getitem__``, vectorised slicing, and round-trip
+    serialisation via :meth:`to_bytes` / :meth:`from_bytes`.
+    """
+
+    __slots__ = ("_data", "_width", "_count")
+
+    def __init__(self, data: bytes, width: int, count: int):
+        expected = (count * width + 7) // 8
+        if len(data) < expected:
+            raise ValueError(
+                f"buffer of {len(data)} bytes too small for "
+                f"{count} x {width}-bit slots"
+            )
+        self._data = data
+        self._width = width
+        self._count = count
+
+    @classmethod
+    def from_values(cls, values: np.ndarray, width: int | None = None
+                    ) -> "BitPackedArray":
+        values = np.asarray(values)
+        if values.dtype == object:
+            ints = [int(v) for v in values]
+            if width is None:
+                width = max((v.bit_length() for v in ints), default=0)
+            return cls(pack_unsigned_big(ints, width), width, len(ints))
+        values = np.ascontiguousarray(values, dtype=np.uint64)
+        if width is None:
+            width = bits_for_unsigned(int(values.max())) if values.size else 0
+        return cls(pack_unsigned(values, width), width, values.size)
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def nbytes(self) -> int:
+        return len(self._data)
+
+    @property
+    def data(self) -> bytes:
+        return self._data
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, index: int) -> int:
+        if index < 0:
+            index += self._count
+        if not 0 <= index < self._count:
+            raise IndexError(f"index {index} out of range [0, {self._count})")
+        return read_slot(self._data, self._width, index)
+
+    def slice(self, start: int, stop: int) -> np.ndarray:
+        """Decode slots ``[start, stop)`` as a ``uint64`` array."""
+        if not 0 <= start <= stop <= self._count:
+            raise IndexError(f"bad slice [{start}, {stop}) for {self._count}")
+        n = stop - start
+        if n == 0 or self._width == 0:
+            return np.zeros(n, dtype=np.uint64)
+        if self._width > 64:
+            return np.array(
+                [read_slot(self._data, self._width, i)
+                 for i in range(start, stop)],
+                dtype=object,
+            )
+        bit_lo = start * self._width
+        byte_lo = bit_lo >> 3
+        raw = np.frombuffer(
+            self._data,
+            dtype=np.uint8,
+            count=min(len(self._data) - byte_lo,
+                      (n * self._width + (bit_lo & 7) + 7) // 8 + 1),
+            offset=byte_lo,
+        )
+        bits = np.unpackbits(raw)
+        off = bit_lo & 7
+        bits = bits[off: off + n * self._width].reshape(n, self._width)
+        shifts = np.arange(self._width - 1, -1, -1, dtype=np.uint64)
+        return (bits.astype(np.uint64) << shifts[None, :]).sum(
+            axis=1, dtype=np.uint64
+        )
+
+    def to_numpy(self) -> np.ndarray:
+        return self.slice(0, self._count)
+
+    def to_bytes(self) -> bytes:
+        header = self._width.to_bytes(1, "big") + self._count.to_bytes(8, "big")
+        return header + self._data
+
+    @classmethod
+    def from_bytes(cls, buf: bytes, offset: int = 0
+                   ) -> tuple["BitPackedArray", int]:
+        width = buf[offset]
+        count = int.from_bytes(buf[offset + 1: offset + 9], "big")
+        nbytes = (count * width + 7) // 8
+        payload = buf[offset + 9: offset + 9 + nbytes]
+        return cls(payload, width, count), offset + 9 + nbytes

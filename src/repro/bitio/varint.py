@@ -1,0 +1,51 @@
+"""LEB128-style variable-length integers (a.k.a. Google varints).
+
+Used for headers, the block compressor's literal lengths, and the string
+codec's offsets.  Unsigned varints store 7 payload bits per byte with a
+continuation flag; signed varints zigzag first.
+"""
+
+from __future__ import annotations
+
+
+def encode_uvarint(value: int) -> bytes:
+    """Encode a non-negative integer as a LEB128 varint."""
+    if value < 0:
+        raise ValueError(f"uvarint requires value >= 0, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(buf: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint from ``buf`` at ``offset``; returns (value, new_offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(buf):
+            raise ValueError("truncated varint")
+        byte = buf[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def encode_svarint(value: int) -> bytes:
+    """Encode a signed integer using zigzag + LEB128 (arbitrary precision)."""
+    zz = value * 2 if value >= 0 else -value * 2 - 1
+    return encode_uvarint(zz)
+
+
+def decode_svarint(buf: bytes, offset: int = 0) -> tuple[int, int]:
+    """Inverse of :func:`encode_svarint`."""
+    zz, offset = decode_uvarint(buf, offset)
+    value = (zz >> 1) ^ -(zz & 1)
+    return value, offset

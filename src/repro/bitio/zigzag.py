@@ -1,0 +1,35 @@
+"""Zigzag transform between signed and unsigned integer arrays.
+
+Maps 0, -1, 1, -2, 2, ... onto 0, 1, 2, 3, 4, ... so that small-magnitude
+signed residuals pack into few bits.  Vectorised over numpy arrays; the
+object-dtype path handles values outside the int64 range (e.g. 64-bit keys
+with large model errors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zigzag_encode(values: np.ndarray) -> np.ndarray:
+    """Signed -> unsigned zigzag.  Accepts int64 or object arrays."""
+    values = np.asarray(values)
+    if values.dtype == object:
+        return np.array(
+            [v * 2 if v >= 0 else -v * 2 - 1 for v in values], dtype=object
+        )
+    v = values.astype(np.int64)
+    return ((v << np.int64(1)) ^ (v >> np.int64(63))).astype(np.uint64)
+
+
+def zigzag_decode(values: np.ndarray) -> np.ndarray:
+    """Unsigned -> signed zigzag inverse."""
+    values = np.asarray(values)
+    if values.dtype == object:
+        return np.array(
+            [v // 2 if v % 2 == 0 else -(v + 1) // 2 for v in values],
+            dtype=object,
+        )
+    u = values.astype(np.uint64)
+    return ((u >> np.uint64(1)).astype(np.int64)
+            ^ -(u & np.uint64(1)).astype(np.int64))

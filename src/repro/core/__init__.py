@@ -1,0 +1,14 @@
+"""The LeCo framework: the paper's primary contribution (§3)."""
+
+from repro.core.api import compress, decompress
+from repro.core.encoding import CompressedArray, LecoEncoder
+from repro.core.strings import CompressedStrings, StringCompressor
+
+__all__ = [
+    "compress",
+    "decompress",
+    "CompressedArray",
+    "LecoEncoder",
+    "CompressedStrings",
+    "StringCompressor",
+]

@@ -1,0 +1,27 @@
+"""Hyperparameter-Advisor: regressor selection + partition strategy advice."""
+
+from repro.core.advisor.cart import CartClassifier
+from repro.core.advisor.features import (
+    FEATURE_NAMES,
+    extract_features,
+    kth_order_deviation,
+    subrange_stats,
+)
+from repro.core.advisor.selector import (
+    CANDIDATES,
+    RegressorSelector,
+    optimal_regressor_name,
+    training_set,
+)
+
+__all__ = [
+    "CartClassifier",
+    "FEATURE_NAMES",
+    "extract_features",
+    "kth_order_deviation",
+    "subrange_stats",
+    "CANDIDATES",
+    "RegressorSelector",
+    "optimal_regressor_name",
+    "training_set",
+]

@@ -1,0 +1,127 @@
+"""Classification and Regression Tree (CART), implemented from scratch.
+
+The Hyperparameter-Advisor trains this classifier offline on features of
+synthetic sequences (paper §3.1/§4.4).  Standard CART with Gini impurity,
+binary splits on feature thresholds, depth and leaf-size stopping rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class _Node:
+    __slots__ = ("feature", "threshold", "left", "right", "label")
+
+    def __init__(self, label: int | None = None):
+        self.feature: int | None = None
+        self.threshold: float = 0.0
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+        self.label = label
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.label is not None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p * p).sum())
+
+
+class CartClassifier:
+    """Binary-split decision tree with Gini impurity."""
+
+    def __init__(self, max_depth: int = 8, min_leaf: int = 3):
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self._root: _Node | None = None
+        self._n_classes = 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray
+            ) -> "CartClassifier":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.ndim != 2 or len(features) != len(labels):
+            raise ValueError("features must be (n, d) aligned with labels")
+        self._n_classes = int(labels.max()) + 1 if len(labels) else 1
+        self._root = self._build(features, labels, depth=0)
+        return self
+
+    def _majority(self, labels: np.ndarray) -> int:
+        return int(np.bincount(labels, minlength=self._n_classes).argmax())
+
+    def _build(self, feats: np.ndarray, labels: np.ndarray,
+               depth: int) -> _Node:
+        if (depth >= self.max_depth or len(labels) < 2 * self.min_leaf
+                or len(np.unique(labels)) == 1):
+            return _Node(label=self._majority(labels))
+
+        best_gain = 0.0
+        best = None
+        parent_counts = np.bincount(labels, minlength=self._n_classes)
+        parent_gini = _gini(parent_counts)
+        n = len(labels)
+        for feature in range(feats.shape[1]):
+            order = np.argsort(feats[:, feature], kind="stable")
+            sorted_feat = feats[order, feature]
+            sorted_labels = labels[order]
+            left_counts = np.zeros(self._n_classes)
+            right_counts = parent_counts.astype(np.float64).copy()
+            for i in range(n - 1):
+                lab = sorted_labels[i]
+                left_counts[lab] += 1
+                right_counts[lab] -= 1
+                if sorted_feat[i] == sorted_feat[i + 1]:
+                    continue
+                n_left = i + 1
+                n_right = n - n_left
+                if n_left < self.min_leaf or n_right < self.min_leaf:
+                    continue
+                gain = parent_gini - (
+                    n_left / n * _gini(left_counts)
+                    + n_right / n * _gini(right_counts)
+                )
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    threshold = (sorted_feat[i] + sorted_feat[i + 1]) / 2.0
+                    best = (feature, threshold)
+        if best is None:
+            return _Node(label=self._majority(labels))
+
+        feature, threshold = best
+        mask = feats[:, feature] <= threshold
+        node = _Node()
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(feats[mask], labels[mask], depth + 1)
+        node.right = self._build(feats[~mask], labels[~mask], depth + 1)
+        return node
+
+    def predict_one(self, feature_vec: np.ndarray) -> int:
+        if self._root is None:
+            raise RuntimeError("classifier is not fitted")
+        node = self._root
+        while not node.is_leaf:
+            if feature_vec[node.feature] <= node.threshold:
+                node = node.left
+            else:
+                node = node.right
+        return node.label
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        return np.array([self.predict_one(f) for f in features],
+                        dtype=np.int64)
+
+    def depth(self) -> int:
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

@@ -1,0 +1,68 @@
+"""Feature extraction for the Regressor Selector (paper §3.1).
+
+Features collected from a single pass over a partition:
+
+* **log-scale data range** — upper bound of the delta-array size; small
+  ranges prefer simple models (the parameters dominate otherwise);
+* **deviation of the k-th-order deltas** (k = 1..4) — the k-th-order delta
+  sequence of a k-degree polynomial is constant, so a near-zero normalised
+  deviation at order k signals a degree-k fit;
+* **subrange trend and divergence** — split into fixed subblocks, compute
+  each block's value range, then the average and the spread of the
+  ratio between adjacent subranges: how fast values grow and how stable the
+  growth is (exponential data trends away from 1; noisy data diverges).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+FEATURE_NAMES = (
+    "log_range",
+    "dev_order1",
+    "dev_order2",
+    "dev_order3",
+    "dev_order4",
+    "subrange_trend",
+    "subrange_divergence",
+)
+
+
+def kth_order_deviation(values: np.ndarray, order: int) -> float:
+    """Normalised mean absolute deviation of the k-th-order deltas."""
+    if len(values) <= order:
+        return 0.0
+    deltas = np.diff(values.astype(np.float64), n=order)
+    span = float(deltas.max() - deltas.min())
+    if span == 0.0:
+        return 0.0
+    return float(np.abs(deltas - deltas.mean()).mean() / span)
+
+
+def subrange_stats(values: np.ndarray, block: int = 64
+                   ) -> tuple[float, float]:
+    """(trend T, divergence D) of the per-subblock value ranges (§3.1)."""
+    n = len(values)
+    if n < 2 * block:
+        return 1.0, 0.0
+    usable = (n // block) * block
+    blocks = values[:usable].astype(np.float64).reshape(-1, block)
+    ranges = blocks.max(axis=1) - blocks.min(axis=1)
+    ranges = np.maximum(ranges, 1.0)
+    ratios = ranges[1:] / ranges[:-1]
+    trend = float(ratios.mean())
+    divergence = float(ratios.max() - ratios.min())
+    return trend, divergence
+
+
+def extract_features(values: np.ndarray) -> np.ndarray:
+    """The selector's feature vector for one partition."""
+    values = np.asarray(values, dtype=np.int64)
+    if len(values) == 0:
+        return np.zeros(len(FEATURE_NAMES))
+    span = float(int(values.max()) - int(values.min()))
+    log_range = float(np.log2(span + 1.0))
+    devs = [kth_order_deviation(values, k) for k in (1, 2, 3, 4)]
+    trend, divergence = subrange_stats(values)
+    return np.array([log_range, *devs, np.log1p(abs(trend - 1.0)),
+                     np.log1p(divergence)])

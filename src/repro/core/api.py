@@ -1,0 +1,101 @@
+"""High-level public API of the LeCo library.
+
+Typical usage::
+
+    import numpy as np
+    from repro import compress, decompress
+
+    keys = np.cumsum(np.random.poisson(40, 100_000))
+    arr = compress(keys)               # CompressedArray
+    arr[12_345]                        # random access, no full decode
+    assert np.array_equal(decompress(arr), keys)
+
+``mode`` picks the partitioning strategy: ``"fix"`` (sampling-searched
+fixed-length partitions), ``"var"`` (split–merge variable-length), or
+``"auto"`` (hardness-based advice, §3.2.3).  ``regressor="auto"`` lets the
+Hyperparameter-Advisor recommend a model family per partition (§3.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.advisor import RegressorSelector
+from repro.core.encoding import CompressedArray, LecoEncoder, encode_partition
+from repro.core.partitioners import (
+    AutoFixedPartitioner,
+    SplitMergePartitioner,
+    advise_partitioning,
+)
+from repro.core.regressors import get_regressor
+
+_SELECTOR: RegressorSelector | None = None
+
+
+def _selector() -> RegressorSelector:
+    global _SELECTOR
+    if _SELECTOR is None:
+        _SELECTOR = RegressorSelector()
+    return _SELECTOR
+
+
+def compress(values: np.ndarray, mode: str = "fix",
+             regressor: str = "linear", tau: float = 0.05,
+             max_partition_size: int = 10_000) -> CompressedArray:
+    """Compress an integer sequence with LeCo.
+
+    Parameters
+    ----------
+    values:
+        Any integer numpy array (or list) within the int64 range.
+    mode:
+        ``"fix"``, ``"var"``, or ``"auto"`` (advisor decides fix vs var).
+    regressor:
+        A registered regressor name, or ``"auto"`` for the per-partition
+        Regressor Selector.
+    """
+    values = np.asarray(values)
+    if mode not in ("fix", "var", "auto"):
+        raise ValueError(f"mode must be fix/var/auto, got {mode!r}")
+    if mode == "auto":
+        report = advise_partitioning(values.astype(np.int64))
+        mode = "var" if report.recommend_variable else "fix"
+
+    if regressor == "auto":
+        return _compress_mixed(values.astype(np.int64), mode, tau,
+                               max_partition_size)
+    encoder = LecoEncoder(
+        regressor=regressor,
+        partitioner="variable" if mode == "var" else "fixed",
+        tau=tau, max_partition_size=max_partition_size)
+    return encoder.encode(values)
+
+
+def _compress_mixed(values: np.ndarray, mode: str, tau: float,
+                    max_partition_size: int) -> CompressedArray:
+    """Partition with the linear cost model, then recommend per partition."""
+    planner = get_regressor("linear")
+    if mode == "var":
+        partitioner = SplitMergePartitioner(tau=tau)
+    else:
+        partitioner = AutoFixedPartitioner(max_size=max_partition_size)
+    bounds = partitioner.partition(values, planner)
+    selector = _selector()
+    partitions = []
+    for start, end in bounds:
+        seg = values[start:end]
+        reg = selector.recommend(seg)
+        if len(seg) < reg.min_partition_size:
+            reg = get_regressor("constant")
+        partitions.append(encode_partition(seg, start, reg))
+    fixed_size = None
+    if partitioner.fixed_length and bounds:
+        fixed_size = bounds[0][1] - bounds[0][0]
+    return CompressedArray(len(values), partitions, fixed_size, "linear")
+
+
+def decompress(compressed: CompressedArray | bytes) -> np.ndarray:
+    """Inverse of :func:`compress`; accepts the object or its bytes."""
+    if isinstance(compressed, (bytes, bytearray)):
+        compressed = CompressedArray.from_bytes(bytes(compressed))
+    return compressed.decode_all()

@@ -1,0 +1,16 @@
+"""Encoder/Decoder and the self-describing storage format (paper §3.3)."""
+
+from repro.core.encoding.encoder import LecoEncoder, encode_partition
+from repro.core.encoding.format import (
+    CompressedArray,
+    Partition,
+    accumulate_predictions,
+)
+
+__all__ = [
+    "LecoEncoder",
+    "encode_partition",
+    "CompressedArray",
+    "Partition",
+    "accumulate_predictions",
+]

@@ -1,0 +1,66 @@
+"""Shared storage-cost model for partition planning.
+
+Every partitioner optimises the same objective (paper §3):
+
+    sum_j ( ||F_j|| + (k_{j+1} - k_j) * Delta(v[k_j, k_{j+1})) )
+
+plus per-partition header overhead.  Centralising the constants here keeps
+the split threshold, the merge test, the DP reference, and the final encoded
+size consistent with one another.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.regressors.base import Regressor
+
+#: per-partition header: bit-width byte + bias varint estimate (bits)
+PARTITION_HEADER_BITS = 8 + 32
+#: extra metadata per variable-length partition: stored start index (bits)
+VAR_INDEX_BITS = 32
+
+
+def partition_bits(n_items: int, delta_bits: int, regressor: Regressor,
+                   variable: bool = True) -> int:
+    """Estimated stored size in bits of one partition."""
+    bits = regressor.model_size_bytes * 8 + PARTITION_HEADER_BITS
+    if variable:
+        bits += VAR_INDEX_BITS
+    return bits + n_items * delta_bits
+
+
+def plan_cost_bits(values: np.ndarray, bounds: list[tuple[int, int]],
+                   regressor: Regressor, variable: bool = True,
+                   exact: bool = True) -> int:
+    """Total estimated size in bits of a partition plan.
+
+    ``exact=True`` fits the regressor per partition (what the encoder will
+    do); ``exact=False`` uses the regressor's fast width approximation.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    total = 0
+    for start, end in bounds:
+        seg = values[start:end]
+        width = (regressor.delta_bits(seg) if exact
+                 else regressor.fast_delta_bits(seg))
+        total += partition_bits(end - start, width, regressor, variable)
+    return total
+
+
+def validate_bounds(bounds: list[tuple[int, int]], n: int) -> None:
+    """Assert that ``bounds`` is a contiguous, complete cover of ``[0, n)``."""
+    if n == 0:
+        if bounds:
+            raise ValueError("non-empty bounds for empty sequence")
+        return
+    if not bounds:
+        raise ValueError("empty bounds for non-empty sequence")
+    if bounds[0][0] != 0 or bounds[-1][1] != n:
+        raise ValueError(f"bounds {bounds[0]}..{bounds[-1]} do not cover [0, {n})")
+    for (a, b), (c, d) in zip(bounds, bounds[1:]):
+        if b != c:
+            raise ValueError(f"gap or overlap between {(a, b)} and {(c, d)}")
+    for a, b in bounds:
+        if a >= b:
+            raise ValueError(f"empty partition {(a, b)}")

@@ -1,0 +1,111 @@
+"""Regressor interface for the LeCo framework.
+
+A *Regressor* fits one model to one partition of the value sequence,
+minimising the **maximum** absolute prediction error (not the usual sum of
+squares): the delta array is bit-packed, so its storage cost is set by the
+largest residual (paper §3.1).
+
+A *FittedModel* is the trained artefact: it predicts a float for each
+position, and the encoder stores residuals ``v_i - floor(pred(i))``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+def floor_to_int64(pred: np.ndarray) -> np.ndarray:
+    """Floor float predictions to int64, clamping to the representable range.
+
+    Encoder and decoder must floor identically, so every prediction path in
+    the library funnels through this helper.
+    """
+    clipped = np.clip(np.floor(pred), float(_INT64_MIN), float(_INT64_MAX))
+    return clipped.astype(np.int64)
+
+
+class FittedModel(ABC):
+    """A trained model for a single partition."""
+
+    #: short identifier used in the storage format and reports
+    kind: str = "abstract"
+
+    @property
+    @abstractmethod
+    def params(self) -> np.ndarray:
+        """Model parameters as a float64 vector (stored 8 bytes each)."""
+
+    @abstractmethod
+    def predict_float(self, positions: np.ndarray) -> np.ndarray:
+        """Predict raw float values at local ``positions`` (0-based)."""
+
+    def predict_int(self, positions: np.ndarray) -> np.ndarray:
+        """Integer predictions: ``floor`` of the float predictions."""
+        return floor_to_int64(self.predict_float(np.asarray(positions)))
+
+    @property
+    def model_size_bytes(self) -> int:
+        """Stored size of the parameters (8 bytes per float64)."""
+        return 8 * len(self.params)
+
+    def residuals(self, values: np.ndarray) -> np.ndarray:
+        """Integer residuals ``v_i - floor(pred(i))`` for the partition."""
+        values = np.asarray(values, dtype=np.int64)
+        positions = np.arange(len(values))
+        return values - self.predict_int(positions)
+
+    def max_abs_residual(self, values: np.ndarray) -> int:
+        res = self.residuals(values)
+        return int(np.abs(res).max()) if res.size else 0
+
+
+class Regressor(ABC):
+    """Factory producing :class:`FittedModel` instances for partitions."""
+
+    #: short identifier used by the Hyperparameter-Advisor and reports
+    name: str = "abstract"
+    #: minimum number of points for the fit to be meaningful (paper §3.2.2)
+    min_partition_size: int = 1
+    #: number of float64 parameters a fitted model stores
+    param_count: int = 1
+
+    @property
+    def model_size_bytes(self) -> int:
+        """``S_M`` in the paper: per-partition model storage cost."""
+        return 8 * self.param_count
+
+    @abstractmethod
+    def fit(self, values: np.ndarray) -> FittedModel:
+        """Fit one model to ``values``, minimising the max absolute error."""
+
+    def delta_bits(self, values: np.ndarray) -> int:
+        """``Δ(v)``: bits per residual slot after fitting this regressor.
+
+        Measured as the bias-encoded width of the residual range, which for a
+        minimax fit equals the paper's ``ceil(log2 delta_maxabs)) + 1``.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        if len(values) < max(self.min_partition_size, 1):
+            return 64
+        res = self.fit(values).residuals(values)
+        if res.size == 0:
+            return 0
+        span = int(res.max()) - int(res.min())
+        return int(span).bit_length()
+
+    def fast_delta_bits(self, values: np.ndarray) -> int:
+        """Cheap approximation of :meth:`delta_bits` for the split phase.
+
+        Subclasses override with closed-form shortcuts (paper's ``Δ̃``);
+        the default simply calls the exact version.
+        """
+        return self.delta_bits(values)
+
+    @abstractmethod
+    def load(self, params: np.ndarray) -> FittedModel:
+        """Rebuild a fitted model from stored parameters (decoder path)."""

@@ -1,0 +1,199 @@
+"""Constant and linear minimax regressors.
+
+The linear regressor computes the exact Chebyshev (minimax) line for a
+partition using the convex-hull band algorithm: the minimum vertical-width
+band enclosing the points is supported by an edge of one hull and a vertex of
+the other, and the optimal line is the band's midline.  On position-sorted
+input the hulls come from a single Andrew monotone-chain pass, so the fit is
+O(n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.regressors.base import FittedModel, Regressor
+
+
+class ConstantModel(FittedModel):
+    """``F(i) = theta0`` — the Frame-of-Reference model (paper §2)."""
+
+    kind = "constant"
+
+    def __init__(self, theta0: float):
+        self._params = np.array([theta0], dtype=np.float64)
+
+    @property
+    def params(self) -> np.ndarray:
+        return self._params
+
+    def predict_float(self, positions: np.ndarray) -> np.ndarray:
+        positions = np.asarray(positions)
+        return np.full(positions.shape, self._params[0], dtype=np.float64)
+
+
+class ConstantRegressor(Regressor):
+    """Minimax constant fit: the mid-range of the partition."""
+
+    name = "constant"
+    min_partition_size = 1
+    param_count = 1
+    #: split-phase fast-width tracking mode (see partitioners.variable)
+    incremental_kind = "value-span"
+    #: delta order used for seed scoring (§3.2.2)
+    seed_delta_order = 1
+
+    def fit(self, values: np.ndarray) -> ConstantModel:
+        values = np.asarray(values, dtype=np.int64)
+        if values.size == 0:
+            return ConstantModel(0.0)
+        lo, hi = float(values.min()), float(values.max())
+        return ConstantModel((lo + hi) / 2.0)
+
+    def fast_delta_bits(self, values: np.ndarray) -> int:
+        values = np.asarray(values, dtype=np.int64)
+        if values.size == 0:
+            return 0
+        span = int(values.max()) - int(values.min())
+        # Mid-range centering keeps residuals within [-span/2, span/2];
+        # bias encoding then needs bits(span) (+1 for floor slack).
+        return span.bit_length()
+
+    def load(self, params: np.ndarray) -> ConstantModel:
+        return ConstantModel(float(params[0]))
+
+
+class LinearModel(FittedModel):
+    """``F(i) = theta0 + theta1 * i``."""
+
+    kind = "linear"
+
+    def __init__(self, intercept: float, slope: float):
+        self._params = np.array([intercept, slope], dtype=np.float64)
+
+    @property
+    def params(self) -> np.ndarray:
+        return self._params
+
+    @property
+    def intercept(self) -> float:
+        return float(self._params[0])
+
+    @property
+    def slope(self) -> float:
+        return float(self._params[1])
+
+    def predict_float(self, positions: np.ndarray) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.float64)
+        return self._params[0] + self._params[1] * positions
+
+
+def _upper_hull(ys: np.ndarray) -> list[int]:
+    """Indices of the upper convex hull of ``(i, ys[i])`` (x already sorted)."""
+    hull: list[int] = []
+    for i in range(len(ys)):
+        while len(hull) >= 2:
+            i1, i2 = hull[-2], hull[-1]
+            # pop i2 if it lies below or on the segment i1 -> i
+            if (ys[i2] - ys[i1]) * (i - i1) <= (ys[i] - ys[i1]) * (i2 - i1):
+                hull.pop()
+            else:
+                break
+        hull.append(i)
+    return hull
+
+
+def _lower_hull(ys: np.ndarray) -> list[int]:
+    hull: list[int] = []
+    for i in range(len(ys)):
+        while len(hull) >= 2:
+            i1, i2 = hull[-2], hull[-1]
+            if (ys[i2] - ys[i1]) * (i - i1) >= (ys[i] - ys[i1]) * (i2 - i1):
+                hull.pop()
+            else:
+                break
+        hull.append(i)
+    return hull
+
+
+def chebyshev_line(values: np.ndarray) -> tuple[float, float, float]:
+    """Exact minimax line fit of ``(i, values[i])``.
+
+    Returns ``(intercept, slope, max_error)`` where ``max_error`` is the
+    Chebyshev radius (half the minimal vertical band width).
+    """
+    ys = np.asarray(values, dtype=np.float64)
+    n = len(ys)
+    if n == 0:
+        return 0.0, 0.0, 0.0
+    if n == 1:
+        return float(ys[0]), 0.0, 0.0
+    if n == 2:
+        return float(ys[0]), float(ys[1] - ys[0]), 0.0
+
+    upper = _upper_hull(ys)
+    lower = _lower_hull(ys)
+
+    best_width = np.inf
+    best = (float(ys[0]), 0.0)
+
+    def scan(edge_hull: list[int], far_hull: list[int], sign: float) -> None:
+        """Try every edge of ``edge_hull`` against the vertices of
+        ``far_hull``; ``sign`` is +1 when the far hull lies above the edge."""
+        nonlocal best_width, best
+        m = len(far_hull)
+        j = m - 1
+        for k in range(len(edge_hull) - 1):
+            x1, x2 = edge_hull[k], edge_hull[k + 1]
+            slope = (ys[x2] - ys[x1]) / (x2 - x1)
+
+            def dist(idx: int) -> float:
+                return sign * (ys[idx] - (ys[x1] + slope * (idx - x1)))
+
+            # Vertical distance is unimodal over the far hull and its argmax
+            # index is non-increasing as the edge slope advances, so a single
+            # backward-walking pointer covers all edges in O(hull size).
+            while j > 0 and dist(far_hull[j - 1]) >= dist(far_hull[j]):
+                j -= 1
+            width = dist(far_hull[j])
+            if width < best_width:
+                best_width = width
+                mid = ys[x1] + sign * width / 2.0
+                best = (mid - slope * x1, slope)
+
+    scan(lower, upper, +1.0)
+    scan(upper, lower, -1.0)
+    intercept, slope = best
+    return intercept, slope, best_width / 2.0
+
+
+class LinearRegressor(Regressor):
+    """Exact Chebyshev linear fit (the paper's default regressor)."""
+
+    name = "linear"
+    min_partition_size = 3
+    param_count = 2
+    incremental_kind = "diff-span"
+    seed_delta_order = 2
+
+    def fit(self, values: np.ndarray) -> LinearModel:
+        values = np.asarray(values, dtype=np.int64)
+        intercept, slope, _ = chebyshev_line(values)
+        return LinearModel(intercept, slope)
+
+    def fast_delta_bits(self, values: np.ndarray) -> int:
+        """Paper's ``Δ̃``: bits for max-minus-min of the first differences.
+
+        The spread of adjacent-value differences measures how hard the linear
+        regression task is and correlates positively with the exact bit width
+        (paper §3.2.2), at a fraction of the cost.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        if len(values) < 2:
+            return 0
+        d = np.diff(values)
+        span = int(d.max()) - int(d.min())
+        return span.bit_length()
+
+    def load(self, params: np.ndarray) -> LinearModel:
+        return LinearModel(float(params[0]), float(params[1]))

@@ -1,0 +1,37 @@
+"""Benchmark datasets: every data family named in the paper's §4.1."""
+
+from repro.datasets.registry import (
+    FIG10_DATASETS,
+    NONLINEAR_DATASETS,
+    Dataset,
+    available_datasets,
+    load,
+    scale_factor,
+    sortedness,
+)
+from repro.datasets.strings import (
+    STRING_DATASETS,
+    gen_email,
+    gen_hex,
+    gen_word,
+    load_strings,
+)
+from repro.datasets.tabular import TABLE_NAMES, Table, load_table
+
+__all__ = [
+    "Dataset",
+    "load",
+    "available_datasets",
+    "scale_factor",
+    "sortedness",
+    "FIG10_DATASETS",
+    "NONLINEAR_DATASETS",
+    "Table",
+    "load_table",
+    "TABLE_NAMES",
+    "load_strings",
+    "STRING_DATASETS",
+    "gen_email",
+    "gen_hex",
+    "gen_word",
+]

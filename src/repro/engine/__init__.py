@@ -1,0 +1,38 @@
+"""Columnar execution engine substrate (paper §5.1)."""
+
+from repro.engine.array import ENCODINGS, EncodedColumn
+from repro.engine.blockzstd import block_compress, block_decompress
+from repro.engine.dictjoin import ProbeResult, run_hash_probe
+from repro.engine.io import IOModel
+from repro.engine.ops import (
+    bitmap_sum,
+    filter_to_bitmap,
+    groupby_avg,
+    zipf_cluster_bitmap,
+)
+from repro.engine.parquet import ColumnChunk, ParquetLikeFile, RowGroup
+from repro.engine.queries import (
+    QueryResult,
+    run_bitmap_aggregation,
+    run_filter_groupby_query,
+)
+
+__all__ = [
+    "ENCODINGS",
+    "EncodedColumn",
+    "block_compress",
+    "block_decompress",
+    "ProbeResult",
+    "run_hash_probe",
+    "IOModel",
+    "bitmap_sum",
+    "filter_to_bitmap",
+    "groupby_avg",
+    "zipf_cluster_bitmap",
+    "ColumnChunk",
+    "ParquetLikeFile",
+    "RowGroup",
+    "QueryResult",
+    "run_bitmap_aggregation",
+    "run_filter_groupby_query",
+]

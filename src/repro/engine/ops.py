@@ -1,0 +1,67 @@
+"""Compute kernels of the execution engine (§5.1).
+
+Late-materialization operators working on encoded columns and position
+bitmaps, mirroring the Arrow Compute functions the paper builds on:
+``filter`` (predicate pushdown), ``groupby_avg``, and ``bitmap_sum``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.array import EncodedColumn
+
+
+def filter_to_bitmap(column: EncodedColumn, lo: int, hi: int) -> np.ndarray:
+    """Pushed-down range predicate ``lo <= v < hi`` over an encoded chunk."""
+    return column.filter_range(lo, hi)
+
+
+def groupby_avg(ids: EncodedColumn, vals: EncodedColumn,
+                bitmap: np.ndarray) -> dict[int, float]:
+    """``SELECT AVG(val) GROUP BY id`` over bitmap-selected rows.
+
+    Only decodes entries whose bit is set (random access into the encoded
+    arrays — the paper's groupby/aggregation path).
+    """
+    positions = np.flatnonzero(bitmap)
+    if positions.size == 0:
+        return {}
+    id_vals = ids.take(positions)
+    val_vals = vals.take(positions)
+    sums: dict[int, float] = {}
+    counts: dict[int, int] = {}
+    order = np.argsort(id_vals, kind="stable")
+    sorted_ids = id_vals[order]
+    sorted_vals = val_vals[order]
+    boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+    for chunk_ids, chunk_vals in zip(np.split(sorted_ids, boundaries),
+                                     np.split(sorted_vals, boundaries)):
+        key = int(chunk_ids[0])
+        sums[key] = float(chunk_vals.sum())
+        counts[key] = len(chunk_vals)
+    return {key: sums[key] / counts[key] for key in sums}
+
+
+def bitmap_sum(vals: EncodedColumn, bitmap: np.ndarray) -> int:
+    """Sum of the bitmap-selected entries (Fig. 19's aggregation)."""
+    positions = np.flatnonzero(bitmap)
+    if positions.size == 0:
+        return 0
+    return int(vals.take(positions).sum())
+
+
+def zipf_cluster_bitmap(n: int, selectivity: float, clusters: int = 10,
+                        seed: int = 0) -> np.ndarray:
+    """Fig. 19's bitmaps: ``clusters`` set-bit runs with Zipf-like sizes."""
+    rng = np.random.default_rng(seed)
+    target = max(int(n * selectivity), 1)
+    weights = 1.0 / np.arange(1, clusters + 1)
+    weights /= weights.sum()
+    sizes = np.maximum((weights * target).astype(np.int64), 1)
+    bitmap = np.zeros(n, dtype=bool)
+    starts = np.sort(rng.integers(0, max(n - int(sizes.max()) - 1, 1),
+                                  clusters))
+    for start, size in zip(starts, sizes):
+        bitmap[start: start + int(size)] = True
+    return bitmap

@@ -1,0 +1,90 @@
+"""End-to-end query execution with CPU/IO breakdown (Figs. 18, 19, 21).
+
+``run_filter_groupby_query`` reproduces the paper's §5.1.1 template:
+
+    SELECT AVG(val) FROM T WHERE ts_begin < ts < ts_end GROUP BY id
+
+executed with late materialization: the range filter is pushed down to the
+storage layer producing a bitmap; groupby/aggregation then decode only
+surviving positions.  ``run_bitmap_aggregation`` is §5.1.2's kernel: scan a
+single column, skip row groups whose bitmap region is empty, sum selected
+entries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.io import IOModel
+from repro.engine.ops import bitmap_sum, filter_to_bitmap, groupby_avg
+from repro.engine.parquet import ParquetLikeFile
+
+
+@dataclass
+class QueryResult:
+    """Timing breakdown of one query execution."""
+
+    cpu_filter_s: float
+    cpu_groupby_s: float
+    io_s: float
+    rows_selected: int
+    answer: object
+
+    @property
+    def total_s(self) -> float:
+        return self.cpu_filter_s + self.cpu_groupby_s + self.io_s
+
+
+def run_filter_groupby_query(file: ParquetLikeFile, ts_lo: int, ts_hi: int,
+                             io: IOModel | None = None) -> QueryResult:
+    """The Fig. 18 query over a (ts, id, val) file."""
+    io = io or IOModel()
+    io.reset()
+    cpu_filter = 0.0
+    cpu_groupby = 0.0
+    selected = 0
+    merged: dict[int, list] = {}
+
+    for group in file.row_groups:
+        ts_col = file.scan_column(group, "ts", io)
+        start = time.perf_counter()
+        bitmap = filter_to_bitmap(ts_col, ts_lo, ts_hi)
+        cpu_filter += time.perf_counter() - start
+        hits = int(bitmap.sum())
+        selected += hits
+        if hits == 0:
+            continue
+        id_col = file.scan_column(group, "id", io)
+        val_col = file.scan_column(group, "val", io)
+        start = time.perf_counter()
+        partial = groupby_avg(id_col, val_col, bitmap)
+        cpu_groupby += time.perf_counter() - start
+        for key, avg in partial.items():
+            merged.setdefault(key, []).append(avg)
+
+    answer = {key: float(np.mean(avgs)) for key, avgs in merged.items()}
+    return QueryResult(cpu_filter, cpu_groupby, io.seconds, selected, answer)
+
+
+def run_bitmap_aggregation(file: ParquetLikeFile, column: str,
+                           bitmap: np.ndarray,
+                           io: IOModel | None = None) -> QueryResult:
+    """The Fig. 19 kernel: bitmap-selected SUM over one column."""
+    io = io or IOModel()
+    io.reset()
+    cpu = 0.0
+    total = 0
+    selected = 0
+    for group in file.row_groups:
+        local = bitmap[group.start: group.start + group.n_rows]
+        if not local.any():
+            continue  # row-group skip (all bits zero)
+        col = file.scan_column(group, column, io)
+        start = time.perf_counter()
+        total += bitmap_sum(col, local)
+        cpu += time.perf_counter() - start
+        selected += int(local.sum())
+    return QueryResult(0.0, cpu, io.seconds, selected, total)

@@ -1,0 +1,40 @@
+"""RocksDB-like LSM key-value store substrate (paper §5.2)."""
+
+from repro.kvstore.blocks import (
+    DEFAULT_BLOCK_SIZE,
+    parse_block,
+    serialize_block,
+    shortest_separator,
+    split_into_blocks,
+)
+from repro.kvstore.index_codecs import (
+    IndexBlock,
+    LecoIndex,
+    RestartDeltaIndex,
+    encode_block_handles,
+)
+from repro.kvstore.sstable import (
+    LRUBlockCache,
+    MiniLSM,
+    SeekStats,
+    SSTable,
+)
+from repro.kvstore.ycsb import make_records, skewed_seek_keys
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "parse_block",
+    "serialize_block",
+    "shortest_separator",
+    "split_into_blocks",
+    "IndexBlock",
+    "LecoIndex",
+    "RestartDeltaIndex",
+    "encode_block_handles",
+    "LRUBlockCache",
+    "MiniLSM",
+    "SeekStats",
+    "SSTable",
+    "make_records",
+    "skewed_seek_keys",
+]

@@ -1,0 +1,88 @@
+"""SSTable data blocks (paper §5.2).
+
+A data block is a sorted run of key/value pairs serialised back-to-back
+(varint key length, key bytes, varint value length, value bytes), capped at
+``block_size`` bytes — RocksDB's 4KB default.  Blocks are parsed on access,
+so binary search inside a block pays a real deserialisation cost, exactly
+the work the paper's Seek path performs after the index lookup.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.bitio import decode_uvarint, encode_uvarint
+
+DEFAULT_BLOCK_SIZE = 4096
+
+
+def serialize_block(pairs: list[tuple[bytes, bytes]]) -> bytes:
+    out = bytearray()
+    for key, value in pairs:
+        out += encode_uvarint(len(key))
+        out += key
+        out += encode_uvarint(len(value))
+        out += value
+    return bytes(out)
+
+
+def parse_block(data: bytes) -> list[tuple[bytes, bytes]]:
+    pairs = []
+    offset = 0
+    n = len(data)
+    while offset < n:
+        klen, offset = decode_uvarint(data, offset)
+        key = data[offset: offset + klen]
+        offset += klen
+        vlen, offset = decode_uvarint(data, offset)
+        value = data[offset: offset + vlen]
+        offset += vlen
+        pairs.append((key, value))
+    return pairs
+
+
+def block_lower_bound(pairs: list[tuple[bytes, bytes]], key: bytes
+                      ) -> tuple[bytes, bytes] | None:
+    """First pair with pair.key >= key, or None."""
+    keys = [k for k, _ in pairs]
+    idx = bisect_left(keys, key)
+    if idx == len(pairs):
+        return None
+    return pairs[idx]
+
+
+def split_into_blocks(pairs: list[tuple[bytes, bytes]],
+                      block_size: int = DEFAULT_BLOCK_SIZE
+                      ) -> list[list[tuple[bytes, bytes]]]:
+    """Greedy fill: close a block when adding a pair would overflow it."""
+    blocks: list[list[tuple[bytes, bytes]]] = []
+    current: list[tuple[bytes, bytes]] = []
+    used = 0
+    for key, value in pairs:
+        entry = len(key) + len(value) + 4
+        if current and used + entry > block_size:
+            blocks.append(current)
+            current = []
+            used = 0
+        current.append((key, value))
+        used += entry
+    if current:
+        blocks.append(current)
+    return blocks
+
+
+def shortest_separator(prev_last: bytes, next_first: bytes) -> bytes:
+    """Shortest string in ``[prev_last, next_first)`` (RocksDB index keys).
+
+    The index lookup picks the first separator >= the probe key, so a
+    separator for block ``i`` must be >= the block's last key and < the next
+    block's first key.  When no shorter string exists in that interval the
+    block's own last key is used.
+    """
+    limit = min(len(prev_last), len(next_first))
+    idx = 0
+    while idx < limit and prev_last[idx] == next_first[idx]:
+        idx += 1
+    if idx < limit and prev_last[idx] + 1 < next_first[idx]:
+        return prev_last[:idx] + bytes([prev_last[idx] + 1])
+    return prev_last

@@ -1,0 +1,35 @@
+"""YCSB-style workload generation for the KV-store benchmark (§5.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_records(n: int, key_bytes: int = 20, value_bytes: int = 100,
+                 seed: int = 0) -> list[tuple[bytes, bytes]]:
+    """Sorted key/value records shaped like the RocksDB perf benchmark."""
+    rng = np.random.default_rng(seed)
+    ids = np.sort(rng.choice(np.arange(n * 8, dtype=np.int64), size=n,
+                             replace=False))
+    pad = key_bytes - 3
+    value = bytes(value_bytes)
+    return [(b"key" + str(int(i)).zfill(pad).encode(), value) for i in ids]
+
+
+def skewed_seek_keys(records: list[tuple[bytes, bytes]], count: int,
+                     hot_fraction: float = 0.2,
+                     hot_probability: float = 0.8,
+                     seed: int = 1) -> list[bytes]:
+    """80/20-style skew: ``hot_probability`` of seeks hit the hot key range."""
+    rng = np.random.default_rng(seed)
+    n = len(records)
+    hot_n = max(int(n * hot_fraction), 1)
+    hot_start = rng.integers(0, n - hot_n + 1)
+    keys = []
+    for _ in range(count):
+        if rng.random() < hot_probability:
+            idx = hot_start + int(rng.integers(0, hot_n))
+        else:
+            idx = int(rng.integers(0, n))
+        keys.append(records[idx][0])
+    return keys

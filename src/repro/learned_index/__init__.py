@@ -1,0 +1,12 @@
+"""ALEX-style learned index over sorted integer arrays.
+
+The paper stores variable-length partition start positions in ALEX to
+accelerate the decoder's lower-bound search (§3.3).  This module provides a
+compact reproduction: a linear model per leaf predicts the slot of a key and
+a bounded local search corrects the prediction.  Lookups are O(log err)
+instead of O(log n), with the common case being a handful of probes.
+"""
+
+from repro.learned_index.alex import LearnedSortedIndex
+
+__all__ = ["LearnedSortedIndex"]

@@ -1,0 +1,94 @@
+"""Tests for the top-level public API (repro.compress / decompress)."""
+
+import numpy as np
+import pytest
+
+from repro import CompressedArray, compress, decompress
+from repro.bench import Measurement, measure_codec, render_table
+from repro.baselines import LecoCodec
+from repro.datasets import load
+
+
+class TestCompressDecompress:
+    @pytest.mark.parametrize("mode", ["fix", "var", "auto"])
+    def test_roundtrip_modes(self, mode):
+        rng = np.random.default_rng(0)
+        values = np.cumsum(rng.integers(0, 40, 5000)).astype(np.int64)
+        arr = compress(values, mode=mode)
+        assert np.array_equal(decompress(arr), values)
+
+    def test_roundtrip_from_bytes(self):
+        values = np.arange(1000, dtype=np.int64) * 3
+        arr = compress(values)
+        assert np.array_equal(decompress(arr.to_bytes()), values)
+
+    def test_auto_regressor_mixed_partitions(self):
+        rng = np.random.default_rng(1)
+        values = np.concatenate([
+            (np.arange(3000) ** 2) // 3,
+            10 ** 8 + 5 * np.arange(3000),
+        ]).astype(np.int64) + rng.integers(0, 3, 6000)
+        arr = compress(values, mode="fix", regressor="auto")
+        assert np.array_equal(decompress(arr), values)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            compress(np.arange(10), mode="bogus")
+
+    def test_random_access_surface(self):
+        values = (7 * np.arange(2000)).astype(np.int64)
+        arr = compress(values)
+        assert arr[123] == values[123]
+        assert isinstance(arr, CompressedArray)
+
+    def test_compression_beats_raw_on_structured_data(self):
+        ds = load("ml", n=20_000)
+        arr = compress(ds.values, mode="fix")
+        assert arr.compressed_size_bytes() < ds.values.nbytes / 2
+
+
+class TestBenchHarness:
+    def test_measure_codec_fields(self):
+        ds = load("linear", n=5000)
+        m = measure_codec(LecoCodec("linear", partitioner=256), ds,
+                          n_random=50, repeats=1)
+        assert isinstance(m, Measurement)
+        assert 0 < m.compression_ratio < 1
+        assert m.random_access_ns > 0
+        assert m.decode_gbps > 0
+        assert m.compress_gbps > 0
+        assert 0 <= m.model_ratio <= m.compression_ratio
+
+    def test_measure_codec_detects_lossy(self):
+        class Lossy(LecoCodec):
+            def encode(self, values):
+                seq = super().encode(values)
+                broken = np.array(seq.decode_all())
+                broken[0] += 1
+
+                class Bad:
+                    def __init__(self):
+                        self.calls = 0
+
+                    def decode_all(self):
+                        return broken
+
+                    def get(self, i):
+                        return int(broken[i])
+
+                    def compressed_size_bytes(self):
+                        return 1
+
+                return Bad()
+
+        ds = load("linear", n=500)
+        with pytest.raises(AssertionError):
+            measure_codec(Lossy(), ds, n_random=5, repeats=1)
+
+    def test_render_table(self):
+        out = render_table(["a", "b"], [[1, 2.5], ["x", 0.001]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5

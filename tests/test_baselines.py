@@ -1,0 +1,197 @@
+"""Tests for the baseline codecs (paper §4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    DeltaCodec,
+    EliasFanoCodec,
+    FORCodec,
+    LecoCodec,
+    RansCodec,
+    RLECodec,
+    infer_value_width,
+    standard_codecs,
+)
+
+int_arrays = st.lists(st.integers(-(1 << 40), 1 << 40), min_size=1,
+                      max_size=300).map(
+                          lambda v: np.array(v, dtype=np.int64))
+sorted_arrays = int_arrays.map(np.sort)
+
+
+def check_codec(codec, values):
+    enc = codec.encode(values)
+    assert len(enc) == len(values)
+    assert np.array_equal(enc.decode_all(), values)
+    rng = np.random.default_rng(0)
+    for pos in rng.integers(0, len(values), min(20, len(values))):
+        assert enc.get(int(pos)) == values[pos]
+    assert enc.compressed_size_bytes() > 0
+
+
+class TestFOR:
+    @given(int_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, values):
+        check_codec(FORCodec(frame_size=32), values)
+
+    def test_is_constant_special_case(self):
+        """FOR frames store a horizontal-line model (paper §2)."""
+        values = np.arange(1000, dtype=np.int64)
+        enc = FORCodec(frame_size=100).encode(values)
+        assert all(p.regressor_name == "constant"
+                   for p in enc.array.partitions)
+
+    def test_leco_never_worse_than_for(self):
+        """LeCo's linear model subsumes FOR's constant (paper §4.3.1)."""
+        rng = np.random.default_rng(1)
+        for seed in range(3):
+            values = np.cumsum(
+                rng.integers(0, 100, 20_000)).astype(np.int64)
+            for_size = FORCodec(frame_size=256).encode(
+                values).compressed_size_bytes()
+            leco_size = LecoCodec("linear", partitioner=256).encode(
+                values).compressed_size_bytes()
+            assert leco_size <= for_size * 1.01
+
+
+class TestDelta:
+    @given(int_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_fix_roundtrip(self, values):
+        check_codec(DeltaCodec("fix", partition_size=32), values)
+
+    @given(int_arrays)
+    @settings(max_examples=15, deadline=None)
+    def test_var_roundtrip(self, values):
+        check_codec(DeltaCodec("var"), values)
+
+    def test_variant_validation(self):
+        with pytest.raises(ValueError):
+            DeltaCodec("nope")
+
+    def test_sequential_access_flag(self):
+        assert DeltaCodec("fix").sequential_access
+
+    def test_arithmetic_progression_is_tiny(self):
+        values = (7 * np.arange(10_000)).astype(np.int64)
+        enc = DeltaCodec("fix", partition_size=1000).encode(values)
+        assert enc.compressed_size_bytes() < values.nbytes / 50
+
+    def test_empty_input(self):
+        enc = DeltaCodec("fix").encode(np.array([], dtype=np.int64))
+        assert enc.decode_all().size == 0
+
+
+class TestRLE:
+    @given(int_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, values):
+        check_codec(RLECodec(), values)
+
+    def test_run_detection(self):
+        values = np.array([5, 5, 5, 2, 2, 9], dtype=np.int64)
+        enc = RLECodec().encode(values)
+        assert enc.run_count == 3
+
+    def test_wins_on_repetitive_data(self):
+        values = np.repeat(np.arange(10), 1000).astype(np.int64)
+        enc = RLECodec().encode(values)
+        assert enc.compressed_size_bytes() < values.nbytes / 100
+
+
+class TestEliasFano:
+    @given(sorted_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_on_sorted(self, values):
+        check_codec(EliasFanoCodec(), values)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            EliasFanoCodec().encode(np.array([3, 1, 2], dtype=np.int64))
+
+    def test_applicability_check(self):
+        assert EliasFanoCodec.applicable(np.array([1, 2, 2, 5]))
+        assert not EliasFanoCodec.applicable(np.array([2, 1]))
+
+    def test_quasi_succinct_size(self):
+        """EF needs about (2 + log2(m/n)) bits per element (§4.1)."""
+        rng = np.random.default_rng(2)
+        n = 50_000
+        values = np.sort(rng.integers(0, n * 1024, n)).astype(np.int64)
+        enc = EliasFanoCodec().encode(values)
+        bits_per_elem = enc.compressed_size_bytes() * 8 / n
+        assert bits_per_elem == pytest.approx(2 + 10, rel=0.25)
+
+    def test_handles_duplicates(self):
+        values = np.array([7, 7, 7, 7], dtype=np.int64)
+        check_codec(EliasFanoCodec(), values)
+
+
+class TestRans:
+    @given(st.lists(st.integers(0, (1 << 32) - 1), min_size=1, max_size=150))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip(self, raw):
+        values = np.array(raw, dtype=np.int64)
+        enc = RansCodec().encode(values)
+        assert np.array_equal(enc.decode_all(), values)
+
+    def test_negative_values_roundtrip(self):
+        values = np.array([-5, -1, 0, 3], dtype=np.int64)
+        enc = RansCodec(width=8).encode(values)
+        assert np.array_equal(enc.decode_all(), values)
+
+    def test_get_decodes_prefix(self):
+        values = np.arange(100, dtype=np.int64)
+        enc = RansCodec().encode(values)
+        assert enc.get(57) == 57
+
+    def test_skewed_bytes_compress(self):
+        """Entropy coding shines on skewed byte distributions."""
+        rng = np.random.default_rng(3)
+        values = rng.choice([0, 1, 255], size=20_000,
+                            p=[0.9, 0.08, 0.02]).astype(np.int64)
+        enc = RansCodec(width=4).encode(values)
+        assert enc.compressed_size_bytes() < 20_000 * 4 / 4
+
+    def test_uniform_bytes_do_not_compress(self):
+        rng = np.random.default_rng(4)
+        values = rng.integers(0, 1 << 32, 5000).astype(np.int64)
+        enc = RansCodec(width=4).encode(values)
+        assert enc.compressed_size_bytes() > 5000 * 4 * 0.95
+
+    def test_width_inference(self):
+        assert infer_value_width(np.array([0, 100])) == 4
+        assert infer_value_width(np.array([1 << 40])) == 8
+        assert infer_value_width(np.array([-1])) == 8
+
+
+class TestLecoCodec:
+    @given(int_arrays)
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip(self, values):
+        check_codec(LecoCodec("linear", partitioner=32), values)
+
+    def test_model_size_exposed(self):
+        enc = LecoCodec("linear", partitioner=100).encode(
+            np.arange(1000, dtype=np.int64))
+        assert enc.model_size_bytes() == 16 * 10
+
+    def test_names(self):
+        assert LecoCodec(partitioner="fixed").name == "leco-fix"
+        assert LecoCodec(partitioner="variable").name == "leco-var"
+        assert FORCodec().name == "for"
+
+
+class TestStandardLineup:
+    def test_lineup_contents(self):
+        names = [c.name for c in standard_codecs()]
+        assert names == ["rans", "for", "delta-fix", "delta-var",
+                         "leco-fix", "leco-var"]
+
+    def test_lineup_without_rans(self):
+        names = [c.name for c in standard_codecs(include_rans=False)]
+        assert "rans" not in names

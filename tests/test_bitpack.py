@@ -1,0 +1,163 @@
+"""Unit and property tests for repro.bitio.bitpack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitio import (
+    BitPackedArray,
+    bits_for_range,
+    bits_for_signed_maxabs,
+    bits_for_unsigned,
+    pack_unsigned,
+    read_slot,
+    unpack_unsigned,
+)
+from repro.bitio.bitpack import pack_unsigned_big
+
+
+class TestBitsFor:
+    def test_zero_needs_no_bits(self):
+        assert bits_for_unsigned(0) == 0
+
+    @pytest.mark.parametrize("value,expected", [
+        (1, 1), (2, 2), (3, 2), (4, 3), (255, 8), (256, 9),
+        ((1 << 63) - 1, 63), (1 << 63, 64),
+    ])
+    def test_known_widths(self, value, expected):
+        assert bits_for_unsigned(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits_for_unsigned(-1)
+
+    def test_signed_maxabs_adds_sign_bit(self):
+        assert bits_for_signed_maxabs(0) == 0
+        assert bits_for_signed_maxabs(1) == 2
+        assert bits_for_signed_maxabs(127) == 8
+        assert bits_for_signed_maxabs(128) == 9
+
+    def test_range_is_unsigned_width(self):
+        assert bits_for_range(0) == 0
+        assert bits_for_range(7) == 3
+
+
+class TestPackUnpack:
+    def test_empty(self):
+        assert pack_unsigned(np.empty(0, dtype=np.uint64), 5) == b""
+        assert unpack_unsigned(b"", 5, 0).size == 0
+
+    def test_width_zero_roundtrip(self):
+        values = np.zeros(17, dtype=np.uint64)
+        assert pack_unsigned(values, 0) == b""
+        out = unpack_unsigned(b"", 0, 17)
+        assert np.array_equal(out, values)
+
+    def test_width_zero_rejects_nonzero(self):
+        with pytest.raises(ValueError):
+            pack_unsigned(np.array([1], dtype=np.uint64), 0)
+
+    def test_value_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            pack_unsigned(np.array([8], dtype=np.uint64), 3)
+
+    def test_width_out_of_range(self):
+        with pytest.raises(ValueError):
+            pack_unsigned(np.array([1], dtype=np.uint64), 65)
+
+    @given(st.lists(st.integers(0, (1 << 64) - 1), max_size=200),
+           st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, raw, width):
+        limit = (1 << width) - 1
+        values = np.array([v & limit for v in raw], dtype=np.uint64)
+        packed = pack_unsigned(values, width)
+        assert len(packed) == (len(values) * width + 7) // 8
+        out = unpack_unsigned(packed, width, len(values))
+        assert np.array_equal(out, values)
+
+    @given(st.lists(st.integers(0, (1 << 64) - 1), min_size=1, max_size=80),
+           st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_read_slot_matches_unpack(self, raw, width):
+        limit = (1 << width) - 1
+        values = np.array([v & limit for v in raw], dtype=np.uint64)
+        packed = pack_unsigned(values, width)
+        unpacked = unpack_unsigned(packed, width, len(values))
+        for i in range(len(values)):
+            assert read_slot(packed, width, i) == unpacked[i]
+
+
+class TestBigPacking:
+    def test_beyond_64_bit_roundtrip(self):
+        values = [(1 << 100) + i * 31 for i in range(50)]
+        width = 101
+        packed = pack_unsigned_big(values, width)
+        for i, v in enumerate(values):
+            assert read_slot(packed, width, i) == v
+
+    def test_big_value_too_large(self):
+        with pytest.raises(ValueError):
+            pack_unsigned_big([1 << 10], 10)
+
+    @given(st.lists(st.integers(0, (1 << 90) - 1), max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_big_roundtrip_property(self, values):
+        packed = pack_unsigned_big(values, 90)
+        for i, v in enumerate(values):
+            assert read_slot(packed, 90, i) == v
+
+
+class TestBitPackedArray:
+    def test_from_values_auto_width(self):
+        arr = BitPackedArray.from_values(np.array([0, 5, 3], dtype=np.uint64))
+        assert arr.width == 3
+        assert len(arr) == 3
+        assert list(arr.to_numpy()) == [0, 5, 3]
+
+    def test_getitem_negative_index(self):
+        arr = BitPackedArray.from_values(np.array([9, 7], dtype=np.uint64))
+        assert arr[-1] == 7
+
+    def test_getitem_out_of_range(self):
+        arr = BitPackedArray.from_values(np.array([1], dtype=np.uint64))
+        with pytest.raises(IndexError):
+            arr[1]
+
+    def test_bad_slice(self):
+        arr = BitPackedArray.from_values(np.array([1, 2], dtype=np.uint64))
+        with pytest.raises(IndexError):
+            arr.slice(1, 3)
+
+    def test_truncated_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            BitPackedArray(b"\x00", width=8, count=10)
+
+    @given(st.lists(st.integers(0, 10 ** 12), max_size=120))
+    @settings(max_examples=50, deadline=None)
+    def test_serialisation_roundtrip(self, raw):
+        values = np.array(raw, dtype=np.uint64)
+        arr = BitPackedArray.from_values(values)
+        blob = arr.to_bytes()
+        out, consumed = BitPackedArray.from_bytes(blob)
+        assert consumed == len(blob)
+        assert np.array_equal(out.to_numpy(), values)
+
+    @given(st.lists(st.integers(0, 10 ** 9), min_size=1, max_size=120),
+           st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_slice_matches_full_decode(self, raw, data):
+        values = np.array(raw, dtype=np.uint64)
+        arr = BitPackedArray.from_values(values)
+        lo = data.draw(st.integers(0, len(values)))
+        hi = data.draw(st.integers(lo, len(values)))
+        assert np.array_equal(arr.slice(lo, hi), values[lo:hi])
+
+    def test_object_dtype_from_values(self):
+        values = np.array([1 << 70, 5, 0], dtype=object)
+        arr = BitPackedArray.from_values(values)
+        assert arr.width == 71
+        assert arr[0] == 1 << 70
+        assert arr[1] == 5
+        assert arr[2] == 0

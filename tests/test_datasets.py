@@ -1,0 +1,161 @@
+"""Tests for the dataset generators and registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    FIG10_DATASETS,
+    NONLINEAR_DATASETS,
+    TABLE_NAMES,
+    available_datasets,
+    gen_email,
+    gen_hex,
+    gen_word,
+    load,
+    load_strings,
+    load_table,
+    sortedness,
+)
+
+
+class TestRegistry:
+    def test_all_fig10_datasets_available(self):
+        for name in FIG10_DATASETS:
+            assert name in available_datasets()
+
+    def test_all_nonlinear_datasets_available(self):
+        for name in NONLINEAR_DATASETS:
+            assert name in available_datasets()
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load("nope")
+
+    @pytest.mark.parametrize("name", FIG10_DATASETS)
+    def test_deterministic_generation(self, name):
+        a = load(name, n=2000)
+        b = load(name, n=2000)
+        assert np.array_equal(a.values, b.values)
+
+    @pytest.mark.parametrize("name", FIG10_DATASETS)
+    def test_metadata_consistency(self, name):
+        ds = load(name, n=2000)
+        assert len(ds) == 2000
+        assert ds.width_bytes in (4, 8)
+        assert ds.uncompressed_bytes == 2000 * ds.width_bytes
+        if ds.sorted:
+            assert np.all(np.diff(ds.values) >= 0)
+        if ds.width_bytes == 4:
+            assert int(ds.values.max()) < (1 << 32)
+            assert int(ds.values.min()) >= -(1 << 31)
+
+    def test_seed_changes_data(self):
+        a = load("booksale", n=1000, seed=0)
+        b = load("booksale", n=1000, seed=1)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_unsorted_sets_really_unsorted(self):
+        for name in ("movieid", "poisson"):
+            ds = load(name, n=5000)
+            assert not np.all(np.diff(ds.values) >= 0), name
+
+
+class TestShapes:
+    def test_cosmos_matches_paper_formula_scale(self):
+        ds = load("cosmos", n=10_000)
+        assert abs(int(ds.values.max())) <= 1.3e6
+
+    def test_wiki_has_duplicates(self):
+        ds = load("wiki", n=5000)
+        assert len(np.unique(ds.values)) < len(ds.values)
+
+    def test_house_price_has_runs(self):
+        ds = load("house_price", n=10_000)
+        runs = np.flatnonzero(np.diff(ds.values) == 0)
+        assert len(runs) > 100
+
+    def test_ml_is_bursty(self):
+        ds = load("ml", n=20_000)
+        gaps = np.diff(ds.values)
+        assert gaps.max() > 100 * np.median(gaps)
+
+    def test_medicare_low_cardinality(self):
+        ds = load("medicare", n=20_000)
+        assert len(np.unique(ds.values)) <= len(ds.values) / 10
+
+
+class TestSortednessMetric:
+    def test_sorted_scores_one(self):
+        assert sortedness(np.arange(1000)) == pytest.approx(1.0)
+
+    def test_reversed_scores_minus_one(self):
+        assert sortedness(np.arange(1000)[::-1]) == pytest.approx(-1.0)
+
+    def test_random_scores_near_zero(self):
+        rng = np.random.default_rng(0)
+        score = sortedness(rng.integers(0, 1 << 30, 5000))
+        assert abs(score) < 0.1
+
+    def test_short_input(self):
+        assert sortedness(np.array([5])) == 1.0
+
+
+class TestTables:
+    @pytest.mark.parametrize("name", TABLE_NAMES)
+    def test_table_loads_with_consistent_columns(self, name):
+        table = load_table(name, n=1000)
+        assert table.n_rows == 1000
+        for col in table.columns.values():
+            assert len(col) == 1000
+            assert col.dtype == np.int64
+        assert table.numeric_column_count <= table.total_column_count
+
+    def test_primary_key_is_sorted(self):
+        for name in TABLE_NAMES:
+            table = load_table(name, n=500)
+            pk = next(iter(table.columns.values()))
+            assert np.all(np.diff(pk) >= 0), name
+
+    def test_sortedness_spread(self):
+        """Tables must span low and high sortedness (Fig. 13's x-axis)."""
+        scores = {name: load_table(name, n=2000).average_sortedness()
+                  for name in TABLE_NAMES}
+        assert max(scores.values()) > 0.8
+        assert min(scores.values()) < 0.3
+
+    def test_high_cardinality_filter(self):
+        table = load_table("lineitem", n=2000)
+        high = table.high_cardinality_columns()
+        for col in high.values():
+            assert len(np.unique(col)) > 0.1 * 2000
+
+    def test_unknown_table(self):
+        with pytest.raises(KeyError):
+            load_table("nope")
+
+
+class TestStringDatasets:
+    @pytest.mark.parametrize("name", ["email", "hex", "word"])
+    def test_sorted_and_deterministic(self, name):
+        a = load_strings(name, 500)
+        b = load_strings(name, 500)
+        assert a == b
+        assert a == sorted(a)
+
+    def test_email_shape(self):
+        emails = gen_email(300)
+        assert all(b"." in e for e in emails)
+        avg = sum(len(e) for e in emails) / len(emails)
+        assert 10 <= avg <= 25
+
+    def test_hex_charset(self):
+        for h in gen_hex(200):
+            assert all(c in b"0123456789abcdef" for c in h)
+
+    def test_word_lowercase(self):
+        for w in gen_word(200):
+            assert all(97 <= c <= 122 for c in w)
+
+    def test_unknown_string_dataset(self):
+        with pytest.raises(KeyError):
+            load_strings("nope")

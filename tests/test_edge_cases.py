@@ -1,0 +1,197 @@
+"""Edge cases and adversarial inputs across the library.
+
+These exercise the corners the main suites don't: pathological value
+distributions, degenerate partition plans, format-corruption handling, and
+cross-codec agreement on hostile data.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import compress, decompress
+from repro.baselines import DeltaCodec, FORCodec, LecoCodec, RLECodec
+from repro.core.encoding import CompressedArray, LecoEncoder
+from repro.core.regressors import get_regressor
+from repro.core.strings import StringCompressor
+
+
+def _adversarial_arrays():
+    """Hand-picked hostile integer shapes."""
+    big = np.iinfo(np.int64).max // 2
+    return [
+        np.array([0], dtype=np.int64),
+        np.array([big, -big, big, -big], dtype=np.int64),      # max swings
+        np.array([0] * 1000 + [big], dtype=np.int64),          # one outlier
+        np.repeat([1, -1], 500).astype(np.int64),              # oscillation
+        np.arange(1000, dtype=np.int64)[::-1].copy(),          # descending
+        np.zeros(1, dtype=np.int64),
+        (np.arange(100, dtype=np.int64) * 0 + 7),              # constant
+        np.array([1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144],
+                 dtype=np.int64),                               # convex
+    ]
+
+
+class TestAdversarialShapes:
+    @pytest.mark.parametrize("idx", range(8))
+    def test_all_codecs_stay_lossless(self, idx):
+        values = _adversarial_arrays()[idx]
+        for codec in (FORCodec(frame_size=16),
+                      LecoCodec("linear", partitioner=16),
+                      LecoCodec("linear", partitioner="variable"),
+                      DeltaCodec("fix", partition_size=16),
+                      RLECodec()):
+            enc = codec.encode(values)
+            assert np.array_equal(enc.decode_all(), values), codec.name
+
+    @pytest.mark.parametrize("idx", range(8))
+    def test_serial_decode_agrees(self, idx):
+        values = _adversarial_arrays()[idx]
+        arr = LecoEncoder("linear", partitioner=16).encode(values)
+        assert np.array_equal(arr.decode_all_serial(), arr.decode_all())
+
+    def test_full_int64_range_swings(self):
+        """Residual-guard fallback: a linear fit of alternating extremes
+        would mispredict by ~2^63; the encoder must fall back safely."""
+        big = np.iinfo(np.int64).max // 2
+        values = np.tile([big, -big], 50).astype(np.int64)
+        arr = LecoEncoder("linear", partitioner=100).encode(values)
+        assert np.array_equal(arr.decode_all(), values)
+
+    def test_exponential_regressor_on_hostile_data_stays_lossless(self):
+        """Exp models can overflow float range; the guard must catch it."""
+        rng = np.random.default_rng(0)
+        values = rng.integers(-(1 << 60), 1 << 60, 500).astype(np.int64)
+        arr = LecoEncoder("exponential", partitioner=100).encode(values)
+        assert np.array_equal(arr.decode_all(), values)
+
+
+class TestFormatCorruption:
+    def _arr(self):
+        return LecoEncoder("linear", partitioner=32).encode(
+            np.arange(200, dtype=np.int64))
+
+    def test_truncated_buffer_raises(self):
+        blob = self._arr().to_bytes()
+        with pytest.raises((ValueError, IndexError)):
+            CompressedArray.from_bytes(blob[: len(blob) // 2]).decode_all()
+
+    def test_empty_buffer_raises(self):
+        with pytest.raises((ValueError, IndexError)):
+            CompressedArray.from_bytes(b"")
+
+    def test_foreign_magic_raises(self):
+        with pytest.raises(ValueError):
+            CompressedArray.from_bytes(b"PAR1" + bytes(64))
+
+
+class TestApiContracts:
+    @given(st.lists(st.integers(-(1 << 55), 1 << 55), min_size=1,
+                    max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_compress_decompress_identity(self, raw):
+        values = np.array(raw, dtype=np.int64)
+        assert np.array_equal(decompress(compress(values)), values)
+
+    def test_compress_accepts_smaller_dtypes(self):
+        for dtype in (np.int8, np.int16, np.int32, np.uint8, np.uint32):
+            values = np.arange(100).astype(dtype)
+            arr = compress(values)
+            assert np.array_equal(decompress(arr),
+                                  values.astype(np.int64))
+
+    def test_every_registered_regressor_is_loadable(self):
+        from repro.core.regressors import available_regressors
+
+        for name in available_regressors():
+            reg = get_regressor(name)
+            n = max(reg.min_partition_size, 20)
+            values = (np.arange(n) * 5 + 3).astype(np.int64)
+            model = reg.fit(values)
+            clone = reg.load(model.params)
+            positions = np.arange(n)
+            assert np.array_equal(model.predict_int(positions),
+                                  clone.predict_int(positions)), name
+
+
+class TestStringEdgeCases:
+    def test_single_char_universe(self):
+        strings = [b"a" * k for k in range(20)]
+        comp = StringCompressor(partition_size=8).encode(strings)
+        assert comp.decode_all() == strings
+
+    def test_high_bytes(self):
+        strings = [bytes([255, 254, k]) for k in range(50)]
+        comp = StringCompressor(partition_size=16).encode(strings)
+        assert comp.decode_all() == strings
+
+    def test_partition_of_identical_strings(self):
+        strings = [b"same-key"] * 100
+        comp = StringCompressor(partition_size=32).encode(strings)
+        assert comp.decode_all() == strings
+        # identical strings collapse into prefix-only partitions
+        assert all(p.deltas.width == 0 for p in comp.partitions)
+
+    def test_mixed_length_order_preserved_through_mapping(self):
+        """The §3.4 string-to-integer mapping is order-preserving: sorted
+        input must yield non-decreasing minimum-padded integers.  (The
+        *stored* values are clamped predictions inside each string's padding
+        range, so they need not be monotone — only decodable.)"""
+        strings = sorted(
+            bytes(np.random.default_rng(k).integers(97, 123, k % 7 + 1)
+                  .astype(np.uint8)) for k in range(64))
+        comp = StringCompressor(partition_size=64).encode(strings)
+        part = comp.partitions[0]
+        trimmed = [s[len(part.prefix):] for s in strings]
+        mapped_min = [part._map(s, pad_rank=0) for s in trimmed]
+        assert mapped_min == sorted(mapped_min)
+
+
+class TestEngineEdgeCases:
+    def test_single_row_table_query(self):
+        from repro.engine import ParquetLikeFile, run_filter_groupby_query
+
+        table = {"ts": np.array([5], dtype=np.int64),
+                 "id": np.array([1], dtype=np.int64),
+                 "val": np.array([10], dtype=np.int64)}
+        file = ParquetLikeFile.write(table, "leco")
+        result = run_filter_groupby_query(file, 0, 10)
+        assert result.answer == {1: 10.0}
+
+    def test_filter_range_spanning_everything(self):
+        from repro.engine import EncodedColumn
+
+        values = np.arange(1000, dtype=np.int64)
+        col = EncodedColumn(values, "leco", partition_size=100)
+        lo, hi = np.iinfo(np.int64).min // 4, np.iinfo(np.int64).max // 4
+        assert col.filter_range(lo, hi).all()
+
+    def test_bitmap_all_ones(self):
+        from repro.engine import ParquetLikeFile, run_bitmap_aggregation
+
+        values = np.arange(2000, dtype=np.int64)
+        file = ParquetLikeFile.write({"v": values}, "leco",
+                                     row_group_size=500)
+        bitmap = np.ones(2000, dtype=bool)
+        result = run_bitmap_aggregation(file, "v", bitmap)
+        assert result.answer == int(values.sum())
+
+
+class TestKVStoreEdgeCases:
+    def test_single_record_store(self):
+        from repro.kvstore import MiniLSM
+
+        db = MiniLSM([(b"only-key", b"v")], "leco")
+        assert db.seek(b"only-key") == (b"only-key", b"v")
+        assert db.seek(b"zzz") is None
+        assert db.seek(b"a") == (b"only-key", b"v")
+
+    def test_duplicate_value_payloads(self):
+        from repro.kvstore import MiniLSM
+
+        records = [(f"k{i:04d}".encode(), b"\x00" * 10) for i in range(500)]
+        db = MiniLSM(records, "restart", restart_interval=16,
+                     table_records=200)
+        for i in (0, 250, 499):
+            assert db.seek(records[i][0]) == records[i]

@@ -1,0 +1,249 @@
+"""Tests for the Encoder/Decoder and storage format (paper §3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import (
+    CompressedArray,
+    LecoEncoder,
+    accumulate_predictions,
+    encode_partition,
+)
+from repro.core.regressors import LinearRegressor, get_regressor
+
+int_arrays = st.lists(st.integers(-(1 << 50), 1 << 50), min_size=1,
+                      max_size=400).map(
+                          lambda v: np.array(v, dtype=np.int64))
+
+
+def roundtrip_checks(values: np.ndarray, arr: CompressedArray) -> None:
+    """The full lossless contract every encoded array must satisfy."""
+    decoded = arr.decode_all()
+    assert np.array_equal(decoded, values)
+    assert np.array_equal(arr.decode_all_serial(), values)
+    clone = CompressedArray.from_bytes(arr.to_bytes())
+    assert np.array_equal(clone.decode_all(), values)
+    # random access must agree at a sample of positions
+    rng = np.random.default_rng(0)
+    for pos in rng.integers(0, len(values), min(len(values), 40)):
+        assert arr.get(int(pos)) == values[pos]
+        assert clone.get(int(pos)) == values[pos]
+
+
+class TestRoundTrip:
+    @given(int_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_fixed_partitions_lossless(self, values):
+        arr = LecoEncoder("linear", partitioner=32).encode(values)
+        roundtrip_checks(values, arr)
+
+    @given(int_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_variable_partitions_lossless(self, values):
+        arr = LecoEncoder("linear", partitioner="variable").encode(values)
+        roundtrip_checks(values, arr)
+
+    @pytest.mark.parametrize("regressor", ["constant", "linear", "poly2",
+                                           "poly3", "logarithm"])
+    def test_all_regressors_lossless(self, regressor):
+        rng = np.random.default_rng(1)
+        values = np.cumsum(rng.integers(0, 100, 5000)).astype(np.int64)
+        arr = LecoEncoder(regressor, partitioner=256).encode(values)
+        roundtrip_checks(values, arr)
+
+    def test_extreme_values(self):
+        values = np.array([np.iinfo(np.int64).min // 2, -1, 0, 1,
+                           np.iinfo(np.int64).max // 2], dtype=np.int64)
+        arr = LecoEncoder("linear", partitioner=8).encode(values)
+        roundtrip_checks(values, arr)
+
+    def test_single_value(self):
+        values = np.array([-42], dtype=np.int64)
+        arr = LecoEncoder("linear", partitioner="variable").encode(values)
+        roundtrip_checks(values, arr)
+
+    def test_constant_sequence_is_tiny(self):
+        values = np.full(10_000, 123456, dtype=np.int64)
+        arr = LecoEncoder("linear", partitioner="fixed").encode(values)
+        roundtrip_checks(values, arr)
+        assert arr.compressed_size_bytes() < values.nbytes / 100
+
+    def test_float_input_rejected(self):
+        with pytest.raises(TypeError):
+            LecoEncoder().encode(np.array([1.5, 2.5]))
+
+    def test_unknown_partitioner_spec(self):
+        with pytest.raises(ValueError):
+            LecoEncoder(partitioner="bogus")
+
+
+class TestRandomAccess:
+    def test_get_matches_decode_everywhere(self):
+        rng = np.random.default_rng(2)
+        values = np.cumsum(rng.integers(-5, 50, 3000)).astype(np.int64)
+        for part in (64, "variable"):
+            arr = LecoEncoder("linear", partitioner=part).encode(values)
+            decoded = arr.decode_all()
+            for pos in range(0, 3000, 37):
+                assert arr.get(pos) == decoded[pos]
+
+    def test_negative_index_wraps(self):
+        values = np.arange(100, dtype=np.int64)
+        arr = LecoEncoder("linear", partitioner=16).encode(values)
+        assert arr.get(-1) == 99
+
+    def test_out_of_range_raises(self):
+        arr = LecoEncoder("linear", partitioner=16).encode(
+            np.arange(10, dtype=np.int64))
+        with pytest.raises(IndexError):
+            arr.get(10)
+
+    @given(int_arrays, st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_decode_range_matches_slice(self, values, data):
+        arr = LecoEncoder("linear", partitioner=32).encode(values)
+        lo = data.draw(st.integers(0, len(values)))
+        hi = data.draw(st.integers(lo, len(values)))
+        assert np.array_equal(arr.decode_range(lo, hi), values[lo:hi])
+
+    def test_decode_range_validation(self):
+        arr = LecoEncoder("linear", partitioner=16).encode(
+            np.arange(10, dtype=np.int64))
+        with pytest.raises(IndexError):
+            arr.decode_range(5, 11)
+
+
+class TestTake:
+    @given(int_arrays, st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_take_matches_fancy_indexing(self, values, data):
+        arr = LecoEncoder("linear", partitioner=32).encode(values)
+        k = data.draw(st.integers(0, min(len(values), 50)))
+        positions = data.draw(
+            st.lists(st.integers(0, len(values) - 1), min_size=k,
+                     max_size=k))
+        positions = np.array(positions, dtype=np.int64)
+        assert np.array_equal(arr.take(positions), values[positions])
+
+    def test_take_empty(self):
+        arr = LecoEncoder("linear", partitioner=16).encode(
+            np.arange(10, dtype=np.int64))
+        assert arr.take(np.array([], dtype=np.int64)).size == 0
+
+    def test_take_out_of_range(self):
+        arr = LecoEncoder("linear", partitioner=16).encode(
+            np.arange(10, dtype=np.int64))
+        with pytest.raises(IndexError):
+            arr.take(np.array([11]))
+
+    def test_take_on_variable_partitions(self):
+        rng = np.random.default_rng(3)
+        values = np.cumsum(rng.integers(0, 9, 2000)).astype(np.int64)
+        arr = LecoEncoder("linear", partitioner="variable").encode(values)
+        positions = rng.integers(0, 2000, 300)
+        assert np.array_equal(arr.take(positions), values[positions])
+
+
+class TestSerialDecodeOptimisation:
+    def test_corrections_make_serial_exact(self):
+        """The §3.3 accumulation must be bit-identical after corrections."""
+        rng = np.random.default_rng(4)
+        # slopes with non-terminating binary expansions maximise drift
+        values = np.cumsum(rng.integers(0, 7, 50_000)).astype(np.int64)
+        arr = LecoEncoder("linear", partitioner=10_000).encode(values)
+        assert np.array_equal(arr.decode_all_serial(), values)
+
+    def test_accumulate_predictions_is_sequential(self):
+        acc = accumulate_predictions(1.0, 0.1, 5)
+        expected = [1.0]
+        for _ in range(4):
+            expected.append(expected[-1] + 0.1)
+        assert np.allclose(acc, expected, rtol=0, atol=0)
+
+    def test_corrections_absent_when_disabled(self):
+        values = np.arange(1000, dtype=np.int64) * 3
+        arr = LecoEncoder("linear", partitioner=100,
+                          build_corrections=False).encode(values)
+        assert all(not p.corrections for p in arr.partitions)
+
+
+class TestPartitionValueBounds:
+    @given(int_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_bounds_are_sound(self, values):
+        """Every true value must lie within its partition's claimed bounds."""
+        arr = LecoEncoder("linear", partitioner=32).encode(values)
+        bounds = arr.partition_value_bounds()
+        for j, part in enumerate(arr.partitions):
+            seg = values[part.start: part.end]
+            assert bounds[j, 0] <= seg.min()
+            assert bounds[j, 1] >= seg.max()
+
+    def test_bounds_are_reasonably_tight_on_linear_data(self):
+        values = (11 * np.arange(10_000)).astype(np.int64)
+        arr = LecoEncoder("linear", partitioner=1000).encode(values)
+        bounds = arr.partition_value_bounds()
+        for j, part in enumerate(arr.partitions):
+            seg = values[part.start: part.end]
+            span = int(seg.max() - seg.min()) + 1
+            claimed = int(bounds[j, 1] - bounds[j, 0]) + 1
+            assert claimed <= 2 * span + 16
+
+
+class TestSerialisation:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            CompressedArray.from_bytes(b"XXXX" + bytes(20))
+
+    def test_bad_version_rejected(self):
+        arr = LecoEncoder("linear", partitioner=16).encode(
+            np.arange(10, dtype=np.int64))
+        blob = bytearray(arr.to_bytes())
+        blob[4] = 99
+        with pytest.raises(ValueError):
+            CompressedArray.from_bytes(bytes(blob))
+
+    def test_serialised_size_is_stable(self):
+        values = np.arange(1000, dtype=np.int64)
+        arr = LecoEncoder("linear", partitioner=100).encode(values)
+        assert arr.compressed_size_bytes() == len(arr.to_bytes())
+        assert arr.compressed_size_bytes() == arr.compressed_size_bytes()
+
+    def test_variable_partition_serialisation(self):
+        rng = np.random.default_rng(5)
+        values = np.cumsum(rng.integers(0, 20, 3000)).astype(np.int64)
+        arr = LecoEncoder("linear", partitioner="variable").encode(values)
+        clone = CompressedArray.from_bytes(arr.to_bytes())
+        assert clone.fixed_size is None
+        assert len(clone.partitions) == len(arr.partitions)
+        assert np.array_equal(clone.decode_all(), values)
+
+    def test_mixed_regressor_serialisation(self):
+        values = np.concatenate([
+            (np.arange(500) ** 2),
+            7 * np.arange(500) + 10 ** 6,
+        ]).astype(np.int64)
+        parts = [
+            encode_partition(values[:500], 0, get_regressor("poly2")),
+            encode_partition(values[500:], 500, get_regressor("linear")),
+        ]
+        arr = CompressedArray(1000, parts, None, "linear")
+        clone = CompressedArray.from_bytes(arr.to_bytes())
+        assert {p.regressor_name for p in clone.partitions} == {
+            "poly2", "linear"}
+        assert np.array_equal(clone.decode_all(), values)
+
+
+class TestModelSizeAccounting:
+    def test_model_share_counts_parameters(self):
+        values = np.arange(1000, dtype=np.int64)
+        arr = LecoEncoder("linear", partitioner=100).encode(values)
+        assert arr.model_size_bytes() == len(arr.partitions) * 16
+
+    def test_compression_ratio_helper(self):
+        values = np.arange(1000, dtype=np.int64)
+        arr = LecoEncoder("linear", partitioner=100).encode(values)
+        assert arr.compression_ratio(8000) == pytest.approx(
+            arr.compressed_size_bytes() / 8000)

@@ -1,0 +1,68 @@
+"""Tests for the FSST-style string baseline (paper §4.7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.fsst import FSSTCodec, build_symbol_table
+
+
+class TestSymbolTable:
+    def test_symbols_cover_frequent_substrings(self):
+        sample = b"com.gmail." * 500
+        table = build_symbol_table(sample)
+        assert any(len(sym) >= 4 for sym in table)
+        assert len(table) <= 255
+
+    def test_empty_sample(self):
+        table = build_symbol_table(b"")
+        assert isinstance(table, dict)
+
+    def test_codes_are_dense_and_below_escape(self):
+        table = build_symbol_table(b"abcabcabc" * 100)
+        codes = sorted(table.values())
+        assert codes == list(range(len(codes)))
+        assert all(code < 255 for code in codes)
+
+
+class TestRoundTrip:
+    @given(st.lists(st.binary(min_size=0, max_size=30), min_size=1,
+                    max_size=80))
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_bytes(self, strings):
+        enc = FSSTCodec().encode(strings)
+        assert enc.decode_all() == strings
+
+    @pytest.mark.parametrize("block", [0, 20, 40, 100])
+    def test_offset_blocks_roundtrip(self, block):
+        strings = [f"host{i % 7}.user{i:05d}".encode() for i in range(500)]
+        enc = FSSTCodec(offset_block=block).encode(strings)
+        assert enc.decode_all() == strings
+        for pos in (0, 17, 123, 499):
+            assert enc.get(pos) == strings[pos]
+
+    def test_escape_bytes_handled(self):
+        strings = [bytes([255, 255, 0, 1]), bytes([255])]
+        enc = FSSTCodec().encode(strings)
+        assert enc.decode_all() == strings
+
+
+class TestCompression:
+    def test_repetitive_strings_compress(self):
+        strings = [b"org.apache.arrow.flight" for _ in range(1000)]
+        raw = sum(len(s) for s in strings)
+        enc = FSSTCodec().encode(strings)
+        assert enc.compressed_size_bytes() < raw / 3
+
+    def test_offset_delta_blocks_shrink_metadata(self):
+        strings = [f"w{i:06d}".encode() for i in range(4000)]
+        plain = FSSTCodec(offset_block=0).encode(strings)
+        blocked = FSSTCodec(offset_block=100).encode(strings)
+        assert (blocked.compressed_size_bytes()
+                < plain.compressed_size_bytes())
+
+    def test_out_of_range(self):
+        enc = FSSTCodec().encode([b"x"])
+        with pytest.raises(IndexError):
+            enc.get(1)

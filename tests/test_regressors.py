@@ -1,0 +1,229 @@
+"""Tests for the minimax regressors (paper §3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regressors import (
+    BasisModel,
+    ConstantRegressor,
+    ExponentialRegressor,
+    LinearRegressor,
+    LogarithmRegressor,
+    PolynomialRegressor,
+    SinusoidalRegressor,
+    available_regressors,
+    chebyshev_line,
+    estimate_frequencies,
+    get_regressor,
+)
+
+int_arrays = st.lists(st.integers(-(1 << 40), 1 << 40), min_size=1,
+                      max_size=120).map(lambda v: np.array(v, dtype=np.int64))
+
+
+def _lp_minimax_error(values: np.ndarray) -> float:
+    """Reference minimax error via linear programming."""
+    from scipy.optimize import linprog
+
+    n = len(values)
+    design = np.column_stack([np.ones(n), np.arange(n)])
+    c = np.array([0.0, 0.0, 1.0])
+    a_ub = np.vstack([
+        np.hstack([design, -np.ones((n, 1))]),
+        np.hstack([-design, -np.ones((n, 1))]),
+    ])
+    b_ub = np.concatenate([values, -values]).astype(float)
+    res = linprog(c, A_ub=a_ub, b_ub=b_ub,
+                  bounds=[(None, None)] * 2 + [(0, None)], method="highs")
+    return float(res.x[2])
+
+
+class TestChebyshevLine:
+    def test_empty_and_singleton(self):
+        assert chebyshev_line(np.array([], dtype=np.int64)) == (0.0, 0.0, 0.0)
+        a, b, e = chebyshev_line(np.array([42]))
+        assert (a, b, e) == (42.0, 0.0, 0.0)
+
+    def test_two_points_exact(self):
+        a, b, e = chebyshev_line(np.array([10, 14]))
+        assert (a, b, e) == (10.0, 4.0, 0.0)
+
+    def test_collinear_has_zero_error(self):
+        values = 7 + 3 * np.arange(50)
+        _, slope, err = chebyshev_line(values)
+        assert slope == pytest.approx(3.0)
+        assert err == pytest.approx(0.0, abs=1e-9)
+
+    @given(int_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_reported_error_is_achieved(self, values):
+        a, b, e = chebyshev_line(values)
+        pred = a + b * np.arange(len(values))
+        assert np.abs(values - pred).max() <= e + 1e-6 * (1 + abs(e))
+
+    @given(st.lists(st.integers(-10 ** 6, 10 ** 6), min_size=3, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_lp_optimum(self, raw):
+        values = np.array(raw, dtype=np.int64)
+        _, _, err = chebyshev_line(values)
+        assert err == pytest.approx(_lp_minimax_error(values), abs=1e-5)
+
+
+class TestConstantRegressor:
+    def test_midrange_fit(self):
+        reg = ConstantRegressor()
+        model = reg.fit(np.array([0, 10], dtype=np.int64))
+        assert model.params[0] == pytest.approx(5.0)
+
+    def test_minimax_beats_min_reference(self):
+        values = np.array([0, 100], dtype=np.int64)
+        model = ConstantRegressor().fit(values)
+        assert model.max_abs_residual(values) <= 50
+
+    def test_fast_delta_bits_matches_span(self):
+        values = np.array([3, 3, 11], dtype=np.int64)
+        assert ConstantRegressor().fast_delta_bits(values) == 4  # span 8
+
+    def test_empty_fit(self):
+        model = ConstantRegressor().fit(np.array([], dtype=np.int64))
+        assert model.params[0] == 0.0
+
+
+class TestLinearRegressor:
+    def test_residuals_small_on_linear_data(self):
+        values = (5 + 17 * np.arange(200)).astype(np.int64)
+        model = LinearRegressor().fit(values)
+        assert model.max_abs_residual(values) <= 1  # floor slack only
+
+    @given(int_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_load_reproduces_predictions(self, values):
+        reg = LinearRegressor()
+        model = reg.fit(values)
+        clone = reg.load(model.params)
+        positions = np.arange(len(values))
+        assert np.array_equal(model.predict_int(positions),
+                              clone.predict_int(positions))
+
+    def test_fast_delta_bits_zero_for_arithmetic_progression(self):
+        values = (100 + 7 * np.arange(64)).astype(np.int64)
+        assert LinearRegressor().fast_delta_bits(values) == 0
+
+    def test_fast_delta_bits_short_input(self):
+        assert LinearRegressor().fast_delta_bits(np.array([5])) == 0
+
+
+class TestPolynomialRegressor:
+    def test_quadratic_fits_quadratic(self):
+        x = np.arange(100)
+        values = (3 * x ** 2 + 5 * x + 7).astype(np.int64)
+        model = PolynomialRegressor(2).fit(values)
+        assert model.max_abs_residual(values) <= 1
+
+    def test_cubic_fits_cubic(self):
+        x = np.arange(60)
+        values = (x ** 3 - 4 * x).astype(np.int64)
+        model = PolynomialRegressor(3).fit(values)
+        assert model.max_abs_residual(values) <= 1
+
+    def test_lp_no_worse_than_centred_ls(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(80)
+        values = (2 * x ** 2 + rng.integers(-40, 41, 80)).astype(np.int64)
+        with_lp = PolynomialRegressor(2, use_lp=True).fit(values)
+        without = PolynomialRegressor(2, use_lp=False).fit(values)
+        assert (with_lp.max_abs_residual(values)
+                <= without.max_abs_residual(values))
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            PolynomialRegressor(0)
+
+    def test_fast_delta_bits_constant_kth_difference(self):
+        x = np.arange(50)
+        values = (x ** 2).astype(np.int64)
+        assert PolynomialRegressor(2).fast_delta_bits(values) == 0
+
+
+class TestSpecialRegressors:
+    def test_exponential_beats_linear_on_exponential_data(self):
+        values = np.round(5 * np.exp(0.05 * np.arange(200))).astype(np.int64)
+        exp_res = ExponentialRegressor().fit(values).max_abs_residual(values)
+        lin_res = LinearRegressor().fit(values).max_abs_residual(values)
+        assert exp_res < lin_res / 4
+
+    def test_logarithm_beats_linear_on_log_data(self):
+        values = np.round(1e4 * np.log1p(np.arange(500))).astype(np.int64)
+        log_res = LogarithmRegressor().fit(values).max_abs_residual(values)
+        lin_res = LinearRegressor().fit(values).max_abs_residual(values)
+        assert log_res < lin_res / 4
+
+    def test_sinusoidal_captures_carrier(self):
+        x = np.arange(2000)
+        values = np.round(1e5 * np.sin(0.05 * x)).astype(np.int64)
+        sin_res = SinusoidalRegressor(1).fit(values).max_abs_residual(values)
+        lin_res = LinearRegressor().fit(values).max_abs_residual(values)
+        assert sin_res < lin_res / 10
+
+    def test_known_frequency_variant(self):
+        x = np.arange(1500)
+        freq = 0.031
+        values = np.round(5e4 * np.sin(freq * x)).astype(np.int64)
+        reg = SinusoidalRegressor(1, freqs=[freq])
+        res = reg.fit(values).max_abs_residual(values)
+        assert res <= 2
+
+    def test_estimate_frequencies_finds_dominant(self):
+        x = np.arange(4096)
+        freq = 2 * np.pi * 32 / 4096
+        values = 1000 * np.sin(freq * x)
+        found = estimate_frequencies(values, 1)[0]
+        assert found == pytest.approx(freq, rel=0.05)
+
+    def test_sinusoidal_validates_args(self):
+        with pytest.raises(ValueError):
+            SinusoidalRegressor(0)
+        with pytest.raises(ValueError):
+            SinusoidalRegressor(2, freqs=[0.1])
+
+    def test_exponential_load_roundtrip(self):
+        values = np.round(3 * np.exp(0.02 * np.arange(100))).astype(np.int64)
+        reg = ExponentialRegressor()
+        model = reg.fit(values)
+        clone = reg.load(model.params)
+        positions = np.arange(len(values))
+        assert np.array_equal(model.predict_int(positions),
+                              clone.predict_int(positions))
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_regressors()
+        for expected in ("constant", "linear", "poly2", "poly3",
+                         "exponential", "logarithm", "sin1", "sin2"):
+            assert expected in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_regressor("nope")
+
+    @pytest.mark.parametrize("name", ["constant", "linear", "poly2",
+                                      "poly3", "exponential", "logarithm",
+                                      "sin1", "sin2"])
+    def test_param_count_matches_fit(self, name):
+        reg = get_regressor(name)
+        n = max(reg.min_partition_size, 16)
+        values = (np.arange(n) * 3 + 1).astype(np.int64)
+        model = reg.fit(values)
+        assert len(model.params) == reg.param_count
+
+
+class TestBasisModel:
+    def test_params_concatenate_theta_and_extra(self):
+        terms = [lambda x: np.ones_like(x), lambda x: x]
+        model = BasisModel("test", terms, [1.0, 2.0], extra_params=[9.0])
+        assert list(model.params) == [1.0, 2.0, 9.0]
+        assert list(model.theta) == [1.0, 2.0]
+        assert list(model.extra) == [9.0]

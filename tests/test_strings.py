@@ -1,0 +1,125 @@
+"""Tests for the string extension (paper §3.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.strings import CompressedStrings, StringCompressor, common_prefix
+
+byte_strings = st.lists(st.binary(min_size=0, max_size=24), min_size=1,
+                        max_size=150)
+
+
+class TestCommonPrefix:
+    def test_basic(self):
+        assert common_prefix([b"abcd", b"abxy", b"abzz"]) == b"ab"
+
+    def test_no_common(self):
+        assert common_prefix([b"abc", b"xyz"]) == b""
+
+    def test_empty_list(self):
+        assert common_prefix([]) == b""
+
+    def test_identical(self):
+        assert common_prefix([b"same", b"same"]) == b"same"
+
+    def test_prefix_of_each_other(self):
+        assert common_prefix([b"ab", b"abc"]) == b"ab"
+
+
+class TestRoundTrip:
+    @given(byte_strings)
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_bytes_lossless(self, strings):
+        comp = StringCompressor(partition_size=16).encode(strings)
+        assert comp.decode_all() == strings
+
+    @given(byte_strings)
+    @settings(max_examples=25, deadline=None)
+    def test_tight_base_lossless(self, strings):
+        comp = StringCompressor(partition_size=16,
+                                power_of_two_base=False).encode(strings)
+        assert comp.decode_all() == strings
+
+    def test_sorted_emails_round_trip(self):
+        from repro.datasets import gen_email
+
+        emails = gen_email(500)
+        comp = StringCompressor(partition_size=64).encode(emails)
+        assert comp.decode_all() == emails
+
+    def test_str_input_is_encoded(self):
+        comp = StringCompressor(partition_size=4).encode(["abc", "abd"])
+        assert comp.decode_all() == [b"abc", b"abd"]
+
+    def test_empty_strings(self):
+        strings = [b"", b"", b"a"]
+        comp = StringCompressor(partition_size=8).encode(strings)
+        assert comp.decode_all() == strings
+
+
+class TestRandomAccess:
+    @given(byte_strings, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_get_matches_decode(self, strings, data):
+        comp = StringCompressor(partition_size=8).encode(strings)
+        pos = data.draw(st.integers(0, len(strings) - 1))
+        assert comp.get(pos) == strings[pos]
+
+    def test_out_of_range(self):
+        comp = StringCompressor(partition_size=4).encode([b"x"])
+        with pytest.raises(IndexError):
+            comp.get(1)
+
+
+class TestAdaptivePadding:
+    def test_sorted_similar_strings_get_zero_deltas(self):
+        """On a clean arithmetic-like progression the clamped prediction
+        should often land inside [s_min, s_max], zeroing the residual."""
+        # hex keys stepping by one map to consecutive integers, so the
+        # linear model should predict inside the padding range
+        strings = [f"k{i:04x}".encode() for i in range(0, 256)]
+        comp = StringCompressor(partition_size=64).encode(strings)
+        widths = [p.deltas.width for p in comp.partitions]
+        raw_bits = comp.partitions[0].max_len * comp.partitions[0].char_bits
+        assert max(widths) <= 2
+        assert max(widths) < raw_bits / 2
+
+    def test_compresses_sorted_keys_well(self):
+        strings = [f"user{i:08d}".encode() for i in range(5000)]
+        raw = sum(len(s) for s in strings)
+        comp = StringCompressor(partition_size=128).encode(strings)
+        assert comp.compressed_size_bytes() < raw / 3
+
+
+class TestBases:
+    def test_tight_base_never_larger_char_bits(self):
+        strings = [bytes([97 + i % 26]) * 4 for i in range(64)]
+        pow2 = StringCompressor(8, power_of_two_base=True).encode(strings)
+        tight = StringCompressor(8, power_of_two_base=False).encode(strings)
+        assert tight.partitions[0].base <= pow2.partitions[0].base
+
+    def test_lowercase_gets_base_32(self):
+        """§3.4's example: lower-case-only strings map to base 32."""
+        strings = sorted({bytes(np.random.default_rng(i).integers(
+            97, 123, 6).astype(np.uint8)) for i in range(100)})
+        comp = StringCompressor(len(strings)).encode(strings)
+        assert comp.partitions[0].base == 32
+
+    def test_partition_size_validation(self):
+        with pytest.raises(ValueError):
+            StringCompressor(partition_size=0)
+
+
+class TestSizeAccounting:
+    def test_size_matches_serialised_parts(self):
+        strings = [f"p{i:05d}".encode() for i in range(300)]
+        comp = StringCompressor(partition_size=64).encode(strings)
+        total = sum(p.size_bytes() for p in comp.partitions)
+        assert comp.compressed_size_bytes() == total + 8 * len(
+            comp.partitions)
+
+    def test_len(self):
+        comp = StringCompressor(4).encode([b"a", b"b", b"c"])
+        assert len(comp) == 3

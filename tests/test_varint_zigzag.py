@@ -1,0 +1,88 @@
+"""Tests for varints and the zigzag transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitio import (
+    decode_svarint,
+    decode_uvarint,
+    encode_svarint,
+    encode_uvarint,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestUvarint:
+    @pytest.mark.parametrize("value,nbytes", [
+        (0, 1), (127, 1), (128, 2), (16383, 2), (16384, 3),
+    ])
+    def test_known_lengths(self, value, nbytes):
+        assert len(encode_uvarint(value)) == nbytes
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_uvarint(-1)
+
+    def test_truncated_raises(self):
+        blob = encode_uvarint(1 << 40)
+        with pytest.raises(ValueError):
+            decode_uvarint(blob[:-1])
+
+    @given(st.integers(0, 1 << 128))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, value):
+        blob = encode_uvarint(value)
+        out, offset = decode_uvarint(blob)
+        assert out == value
+        assert offset == len(blob)
+
+    def test_decode_at_offset(self):
+        blob = b"\xAA" + encode_uvarint(300)
+        out, offset = decode_uvarint(blob, 1)
+        assert out == 300
+        assert offset == len(blob)
+
+
+class TestSvarint:
+    @given(st.integers(-(1 << 90), 1 << 90))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, value):
+        blob = encode_svarint(value)
+        out, offset = decode_svarint(blob)
+        assert out == value
+        assert offset == len(blob)
+
+    def test_small_magnitudes_are_one_byte(self):
+        for value in (-64, -1, 0, 1, 63):
+            assert len(encode_svarint(value)) == 1
+
+
+class TestZigzag:
+    def test_interleaving_order(self):
+        values = np.array([0, -1, 1, -2, 2], dtype=np.int64)
+        assert list(zigzag_encode(values)) == [0, 1, 2, 3, 4]
+
+    @given(st.lists(st.integers(-(1 << 62), 1 << 62), max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, raw):
+        values = np.array(raw, dtype=np.int64)
+        out = zigzag_decode(zigzag_encode(values))
+        assert np.array_equal(out, values)
+
+    def test_int64_extremes(self):
+        values = np.array([np.iinfo(np.int64).min,
+                           np.iinfo(np.int64).max], dtype=np.int64)
+        assert np.array_equal(zigzag_decode(zigzag_encode(values)), values)
+
+    def test_object_dtype_roundtrip(self):
+        values = np.array([1 << 80, -(1 << 80), 0], dtype=object)
+        out = zigzag_decode(zigzag_encode(values))
+        assert list(out) == list(values)
+
+    def test_zigzag_monotone_in_magnitude(self):
+        values = np.arange(-50, 51, dtype=np.int64)
+        encoded = zigzag_encode(values)
+        assert int(encoded.max()) == 100
