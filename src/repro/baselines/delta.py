@@ -98,11 +98,20 @@ class _DeltaPartition:
         return out
 
     def decode_prefix(self, local: int) -> int:
-        """Sequentially decode up to local position (the slow RA path)."""
-        value = self.first
-        for k in range(local):
-            value += self.packed[k] + self.bias
-        return value
+        """Prefix-sum decode up to local position (the slow RA path).
+
+        Still O(position) work — Delta has no random access — but the
+        prefix's slots come from one vectorised read instead of a scalar
+        ``read_slot`` loop.
+        """
+        if local == 0:
+            return self.first
+        slots = self.packed.slice(0, local)
+        # exact (unbounded) slot sum: uint64 slots can reach 2**64 - 1, so
+        # sum the halves separately to avoid both int64 wrap and float paths
+        total = (int((slots >> np.uint64(32)).sum(dtype=np.uint64)) << 32) \
+            + int((slots & np.uint64(0xFFFFFFFF)).sum(dtype=np.uint64))
+        return self.first + local * self.bias + total
 
     def size_bytes(self) -> int:
         # first value (8) + bias (8) + width byte + payload

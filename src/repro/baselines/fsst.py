@@ -17,8 +17,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bitio import BitPackedArray
-
 _ESCAPE = 0xFF
 _MAX_SYMBOL_LEN = 8
 _TABLE_SIZE = 255
@@ -147,7 +145,12 @@ class FSSTCompressedStrings:
         return bytes(out)
 
     def decode_all(self) -> list[bytes]:
-        return [self.get(i) for i in range(self.n)]
+        # a full decode reconstructs block offsets sequentially once, so it
+        # skips get()'s per-position prefix-walk emulation
+        payload = self.payload
+        bounds = self._offsets
+        return [self._decode_codes(payload[int(bounds[i]): int(bounds[i + 1])])
+                for i in range(self.n)]
 
     def compressed_size_bytes(self) -> int:
         table = sum(1 + len(s) for s in self.symbols)

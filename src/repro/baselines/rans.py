@@ -50,29 +50,38 @@ class RansEncodedSequence(EncodedSequence):
         # symbol lookup: slot -> symbol
         self._slot_to_sym = np.repeat(
             np.arange(256, dtype=np.uint8), freqs).astype(np.uint8)
+        # Vectorised decode-table build: per-slot frequency and the
+        # precombined `slot - cum[sym]` remainder, so the (inherently
+        # serial) decode loop below is pure list indexing + int arithmetic
+        # with no per-symbol numpy scalar work left inside it.
+        slot_freq = freqs[self._slot_to_sym]
+        slot_rem = (np.arange(_PROB_SCALE, dtype=np.int64)
+                    - self._cum[self._slot_to_sym])
+        self._sym_bytes = self._slot_to_sym.tobytes()
+        self._slot_freq = slot_freq.tolist()
+        self._slot_rem = slot_rem.tolist()
 
     def __len__(self) -> int:
         return self.n
 
     def _decode_bytes(self, count: int) -> np.ndarray:
-        out = np.empty(count, dtype=np.uint8)
+        out = bytearray(count)
         state = self._state
         payload = self._payload
         pos = 0
-        cum = self._cum
-        freqs = self._freqs
-        slot_to_sym = self._slot_to_sym
+        npayload = len(payload)
+        sym_bytes = self._sym_bytes
+        slot_freq = self._slot_freq
+        slot_rem = self._slot_rem
         mask = _PROB_SCALE - 1
         for i in range(count):
             slot = state & mask
-            sym = slot_to_sym[slot]
-            out[i] = sym
-            state = (int(freqs[sym]) * (state >> _PROB_BITS)
-                     + slot - int(cum[sym]))
-            while state < _RANS_L and pos < len(payload):
+            out[i] = sym_bytes[slot]
+            state = slot_freq[slot] * (state >> _PROB_BITS) + slot_rem[slot]
+            while state < _RANS_L and pos < npayload:
                 state = (state << 8) | payload[pos]
                 pos += 1
-        return out
+        return np.frombuffer(bytes(out), dtype=np.uint8)
 
     def decode_all(self) -> np.ndarray:
         raw = self._decode_bytes(self.n * self.width)
@@ -115,18 +124,25 @@ class RansCodec(Codec):
         freqs = _quantise_freqs(counts)
         cum = np.concatenate([[0], np.cumsum(freqs)]).astype(np.int64)
 
+        # hoist the per-symbol table lookups out of the serial loop:
+        # frequency, cumulative base, and renormalisation threshold become
+        # plain-list reads on the symbol byte
+        freq_list = freqs.tolist()
+        cum_list = cum[:-1].tolist()
+        max_state_list = (((_RANS_L >> _PROB_BITS) << 8) * freqs).tolist()
+
         # encode in reverse so the decoder reads forwards
         state = _RANS_L
         out = bytearray()
-        for sym in stream[::-1]:
-            freq = int(freqs[sym])
+        for sym in stream[::-1].tolist():
+            freq = freq_list[sym]
             # renormalise: flush low bytes while the state is too large
-            max_state = ((_RANS_L >> _PROB_BITS) << 8) * freq
+            max_state = max_state_list[sym]
             while state >= max_state:
                 out.append(state & 0xFF)
                 state >>= 8
             state = ((state // freq) << _PROB_BITS) + state % freq \
-                + int(cum[sym])
+                + cum_list[sym]
         out.reverse()
         return RansEncodedSequence(len(values), width, freqs, bytes(out),
                                    state)

@@ -14,7 +14,9 @@ from repro.bitio.bitpack import (
     bits_for_signed_maxabs,
     bits_for_range,
     pack_unsigned,
+    pack_unsigned_big,
     unpack_unsigned,
+    unpack_unsigned_big,
     read_slot,
 )
 from repro.bitio.varint import (
@@ -31,7 +33,9 @@ __all__ = [
     "bits_for_signed_maxabs",
     "bits_for_range",
     "pack_unsigned",
+    "pack_unsigned_big",
     "unpack_unsigned",
+    "unpack_unsigned_big",
     "read_slot",
     "encode_uvarint",
     "decode_uvarint",

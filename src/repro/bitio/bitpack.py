@@ -5,13 +5,61 @@ format: ``n`` unsigned integers, each occupying exactly ``width`` bits,
 concatenated MSB-first into a byte buffer.  ``width == 0`` encodes the
 degenerate (but common) case where every value is zero and no payload is
 stored at all.
+
+Kernel design
+=============
+
+The pack/unpack kernels are *word-parallel*: they never materialise the
+``n x width`` per-bit matrix the obvious ``np.unpackbits`` formulation
+needs (an O(64x) memory blowup).  Two complementary strategies cover the
+access patterns:
+
+**Group (dis)assembly — contiguous pack/unpack.**  ``lcm(width, 8)`` bits
+is the smallest byte-aligned repeating unit of the stream, covering
+``g = lcm(width, 8) / width`` slots in ``B = lcm(width, 8) / 8`` bytes.
+Reshaping the value array into ``(m, g)`` groups (and the byte buffer into
+``(m, B)``) makes every group structurally identical, so the slot<->byte
+bit routing is a *static* table of at most ``B + g`` (byte, slot) overlap
+pairs.  Each pair becomes one whole-array shift/mask/or over the ``m``
+groups — roughly 1–9 vector ops per value instead of ``width`` per-bit
+ops.  Byte-aligned widths (8/16/32/64) skip even that and go through a
+big-endian dtype view (a single ``astype``).
+
+**Covering-word gather — random access.**  For a batch of arbitrary slot
+indices, each ``width``-bit slot (``width <= 64``) starts at bit
+``i * width`` and is covered by at most 9 bytes.  The kernel gathers the
+first (at most) 8 covering bytes of *all* indices at once into a
+big-endian ``uint64`` window, then shifts/masks per element.  Only widths
+>= 58 can spill into a ninth byte; that branch reads one extra byte gather
+and stitches the two parts.  Slots whose window fits inside the buffer
+gather off a zero-copy view; the few slots near the buffer end use a
+~25-byte zero-padded copy of the tail, so no full-payload copy is ever
+made.
+
+:meth:`BitPackedArray.gather` exposes the batch kernel; its contract is
+``gather(idx)[k] == arr[idx[k]]`` for any integer array ``idx`` (negative
+indices wrap once, out-of-range raises ``IndexError``), returning
+``uint64`` for ``width <= 64`` and an object array beyond that.  Scalar
+``read_slot`` / ``__getitem__`` remain the true O(1) point-read path and
+do not touch numpy.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+from math import gcd
+
 import numpy as np
 
 _U64_MAX = (1 << 64) - 1
+_U64_MAX_NP = np.uint64(_U64_MAX)
+
+#: big-endian dtypes for the byte-aligned fast path
+_ALIGNED_DTYPES = {8: ">u1", 16: ">u2", 32: ">u4", 64: ">u8"}
+
+#: zero padding (bytes) appended to gather buffers so the 8-byte covering
+#: window (plus the possible ninth byte) of the last slot stays in bounds
+_GATHER_PAD = 9
 
 
 def bits_for_unsigned(value: int) -> int:
@@ -43,6 +91,31 @@ def bits_for_range(span: int) -> int:
     return bits_for_unsigned(span)
 
 
+@lru_cache(maxsize=None)
+def _group_pieces(width: int) -> tuple[int, int, tuple]:
+    """Static bit-routing table for the group (dis)assembly kernels.
+
+    Returns ``(g, B, pieces)`` where ``g`` slots occupy ``B`` bytes per
+    byte-aligned group and each piece ``(k, b, shift_r, shift_l, mask)``
+    routes ``mask``'s worth of bits between slot ``k`` (``>> shift_r``
+    from its LSB) and byte ``b`` (``<< shift_l`` from its LSB).
+    """
+    g = 8 // gcd(width, 8)
+    nbytes = width * g // 8
+    pieces = []
+    for k in range(g):
+        lo_bit = k * width
+        hi_bit = lo_bit + width
+        for b in range(lo_bit // 8, (hi_bit - 1) // 8 + 1):
+            lo = max(8 * b, lo_bit)
+            hi = min(8 * b + 8, hi_bit)
+            shift_r = hi_bit - hi
+            shift_l = 8 * b + 8 - hi
+            pieces.append((k, b, np.uint64(shift_r), np.uint64(shift_l),
+                           np.uint64((1 << (hi - lo)) - 1)))
+    return g, nbytes, tuple(pieces)
+
+
 def pack_unsigned(values: np.ndarray, width: int) -> bytes:
     """Pack ``values`` (unsigned, each < 2**width) into an MSB-first buffer."""
     values = np.ascontiguousarray(values, dtype=np.uint64)
@@ -57,25 +130,163 @@ def pack_unsigned(values: np.ndarray, width: int) -> bytes:
     limit = _U64_MAX if width == 64 else (1 << width) - 1
     if int(values.max()) > limit:
         raise ValueError(f"value {int(values.max())} does not fit in {width} bits")
-    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
-    bits = ((values[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
-    flat = bits.ravel()
-    pad = (-flat.size) % 8
-    if pad:
-        flat = np.concatenate([flat, np.zeros(pad, dtype=np.uint8)])
-    return np.packbits(flat).tobytes()
+    if width in _ALIGNED_DTYPES:
+        return values.astype(_ALIGNED_DTYPES[width]).tobytes()
+    n = values.size
+    if width == 1:
+        return np.packbits(values.astype(np.uint8)).tobytes()
+    g = 8 // gcd(width, 8)
+    m = -(-n // g)
+    if m * g != n:
+        padded = np.zeros(m * g, dtype=np.uint64)
+        padded[:n] = values
+        values = padded
+    total = (n * width + 7) // 8
+    if width * g <= 64:
+        return _pack_tree(values, width, g)[:total]
+    return _pack_groups(values, width, m)[:total]
+
+
+def _pack_tree(values: np.ndarray, width: int, g: int) -> bytes:
+    """Pairwise shift/or tree pack for widths with ``lcm(width, 8) <= 64``.
+
+    Adjacent slots merge into double-width words until one byte-aligned
+    ``lcm``-bit word per group remains, then the word bytes are emitted
+    big-endian — all contiguous (stride-2) array ops, no bit matrices.
+    """
+    a = values
+    combined = width
+    for _ in range(g.bit_length() - 1):
+        a = (a[0::2] << np.uint64(combined)) | a[1::2]
+        combined *= 2
+    nbytes = combined // 8
+    m = a.size
+    out = np.empty((m, nbytes), dtype=np.uint8)
+    for b in range(nbytes):
+        out[:, b] = (a >> np.uint64(8 * (nbytes - 1 - b))).astype(np.uint8)
+    return out.tobytes()
+
+
+def _pack_groups(values: np.ndarray, width: int, m: int) -> bytes:
+    """Group-assembly pack via the static bit-routing table (any width)."""
+    g, group_bytes, pieces = _group_pieces(width)
+    cols = values.reshape(m, g)
+    out = np.zeros((m, group_bytes), dtype=np.uint8)
+    for k, b, shift_r, shift_l, mask in pieces:
+        piece = (cols[:, k] >> shift_r) & mask
+        out[:, b] |= (piece << shift_l).astype(np.uint8)
+    return out.tobytes()
 
 
 def unpack_unsigned(data: bytes, width: int, count: int) -> np.ndarray:
     """Vectorised inverse of :func:`pack_unsigned`; returns ``uint64`` array."""
+    if width < 0 or width > 64:
+        raise ValueError(f"width must be in [0, 64], got {width}")
     if width == 0 or count == 0:
         return np.zeros(count, dtype=np.uint64)
+    if width in _ALIGNED_DTYPES:
+        return np.frombuffer(data, dtype=_ALIGNED_DTYPES[width],
+                             count=count).astype(np.uint64)
     raw = np.frombuffer(data, dtype=np.uint8)
-    bits = np.unpackbits(raw)[: count * width].reshape(count, width)
-    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
-    return (bits.astype(np.uint64) << shifts[None, :]).sum(
-        axis=1, dtype=np.uint64
-    )
+    return _decode_contiguous(raw, width, count)
+
+
+def _decode_contiguous(raw: np.ndarray, width: int, count: int) -> np.ndarray:
+    """Decode ``count`` slots from a byte-aligned ``uint8`` view."""
+    if width in _ALIGNED_DTYPES:
+        k = width // 8
+        if raw.size == count * k and raw.flags.c_contiguous:
+            return raw.view(_ALIGNED_DTYPES[width]).astype(np.uint64)
+        return np.frombuffer(raw[: count * k].tobytes(),
+                             dtype=_ALIGNED_DTYPES[width]).astype(np.uint64)
+    if width <= 7:
+        return _unpack_bits_small(raw, width, count)
+    g = 8 // gcd(width, 8)
+    m = -(-count // g)
+    need = m * (width * g // 8)
+    if raw.size < need:
+        padded = np.zeros(need, dtype=np.uint8)
+        padded[: raw.size] = raw
+        raw = padded
+    if width * g <= 64:
+        return _unpack_tree(raw[:need], width, count, g)
+    return _unpack_groups(raw[:need], width, count, g)
+
+
+def _unpack_bits_small(raw: np.ndarray, width: int,
+                       count: int) -> np.ndarray:
+    """Decode widths <= 7 via ``np.unpackbits`` + uint8 column combine."""
+    bits = np.unpackbits(raw[: (count * width + 7) // 8],
+                         count=count * width)
+    if width == 1:
+        return bits.astype(np.uint64)
+    cols = bits.reshape(count, width)
+    acc = cols[:, 0]
+    for j in range(1, width):
+        acc = (acc << np.uint8(1)) | cols[:, j]
+    return acc.astype(np.uint64)
+
+
+def _unpack_tree(raw: np.ndarray, width: int, count: int,
+                 g: int) -> np.ndarray:
+    """Pairwise split-tree decode for widths with ``lcm(width, 8) <= 64``."""
+    combined = width * g
+    nbytes = combined // 8
+    byt = np.ascontiguousarray(raw).reshape(-1, nbytes)
+    a = byt[:, 0].astype(np.uint64)
+    for b in range(1, nbytes):
+        a = (a << np.uint64(8)) | byt[:, b]
+    while combined > width:
+        half = combined // 2
+        nxt = np.empty(a.size * 2, dtype=np.uint64)
+        nxt[0::2] = a >> np.uint64(half)
+        nxt[1::2] = a & np.uint64((1 << half) - 1)
+        a = nxt
+        combined = half
+    return a[:count]
+
+
+def _unpack_groups(raw: np.ndarray, width: int, count: int,
+                   g: int) -> np.ndarray:
+    """Group-disassembly decode via the static bit-routing table."""
+    _, group_bytes, pieces = _group_pieces(width)
+    byt = np.ascontiguousarray(raw).reshape(-1, group_bytes)
+    out = np.zeros((byt.shape[0], g), dtype=np.uint64)
+    for k, b, shift_r, shift_l, mask in pieces:
+        piece = (byt[:, b].astype(np.uint64) >> shift_l) & mask
+        out[:, k] |= piece << shift_r
+    return out.reshape(-1)[:count]
+
+
+def _gather_slots(buf: np.ndarray, width: int,
+                  bit_starts: np.ndarray) -> np.ndarray:
+    """Batch-read ``width``-bit fields starting at ``bit_starts`` (uint64).
+
+    ``buf`` must be a ``uint8`` array zero-padded by at least
+    ``_GATHER_PAD`` bytes past the last payload byte.  Gathers the covering
+    big-endian 64-bit window of every field at once, then shifts/masks;
+    widths >= 58 may spill into a ninth byte, stitched via a second gather.
+    """
+    byte_start = (bit_starts >> np.uint64(3)).astype(np.int64)
+    bit_off = bit_starts & np.uint64(7)
+    nb = min(8, (width + 14) // 8)
+    if width <= 8 * nb - 7:
+        # an nb-byte window always contains the whole field
+        word = buf[byte_start].astype(np.uint64)
+        for j in range(1, nb):
+            word = (word << np.uint64(8)) | buf[byte_start + j]
+        mask = _U64_MAX_NP if width == 64 else np.uint64((1 << width) - 1)
+        return (word >> (np.uint64(8 * nb) - bit_off - np.uint64(width))) \
+            & mask
+    # width >= 58: the field may not fit any single 64-bit window, so
+    # stitch it (branch-free) from its first covering byte and the 64-bit
+    # window one byte later, which always holds the remaining bits
+    head = buf[byte_start].astype(np.uint64) & (np.uint64(0xFF) >> bit_off)
+    word = buf[byte_start + 1].astype(np.uint64)
+    for j in range(2, 9):
+        word = (word << np.uint64(8)) | buf[byte_start + j]
+    tail_len = np.uint64(width - 8) + bit_off
+    return (head << tail_len) | (word >> (np.uint64(64) - tail_len))
 
 
 def pack_unsigned_big(values: list[int], width: int) -> bytes:
@@ -106,6 +317,39 @@ def pack_unsigned_big(values: list[int], width: int) -> bytes:
     return bytes(out)
 
 
+def unpack_unsigned_big(data: bytes, width: int, count: int,
+                        bit_offset: int = 0) -> list[int]:
+    """Chunked inverse of :func:`pack_unsigned_big` for any ``width``.
+
+    Streams the buffer once through a small accumulator (mirroring the
+    writer) instead of re-reading the covering bytes per slot, so a range
+    decode costs O(total bits) instead of O(count * width) buffer slices.
+    ``bit_offset`` positions the first slot at an arbitrary bit.
+    """
+    if width == 0 or count == 0:
+        return [0] * count
+    pos = bit_offset >> 3
+    skew = bit_offset & 7
+    if skew:
+        acc = data[pos] & ((1 << (8 - skew)) - 1)
+        nbits = 8 - skew
+        pos += 1
+    else:
+        acc = 0
+        nbits = 0
+    out = []
+    mask = (1 << width) - 1
+    for _ in range(count):
+        while nbits < width:
+            acc = (acc << 8) | data[pos]
+            pos += 1
+            nbits += 8
+        nbits -= width
+        out.append((acc >> nbits) & mask)
+        acc &= (1 << nbits) - 1
+    return out
+
+
 def read_slot(data: bytes, width: int, index: int) -> int:
     """Read the ``index``-th ``width``-bit slot from ``data`` in O(1).
 
@@ -126,8 +370,9 @@ def read_slot(data: bytes, width: int, index: int) -> int:
 class BitPackedArray:
     """An immutable fixed-width bit-packed vector of unsigned integers.
 
-    Supports O(1) ``__getitem__``, vectorised slicing, and round-trip
-    serialisation via :meth:`to_bytes` / :meth:`from_bytes`.
+    Supports O(1) ``__getitem__``, vectorised slicing, batch random access
+    via :meth:`gather`, and round-trip serialisation via :meth:`to_bytes` /
+    :meth:`from_bytes`.
     """
 
     __slots__ = ("_data", "_width", "_count")
@@ -179,6 +424,55 @@ class BitPackedArray:
             raise IndexError(f"index {index} out of range [0, {self._count})")
         return read_slot(self._data, self._width, index)
 
+    def _gather_bits(self, bit_starts: np.ndarray) -> np.ndarray:
+        """Run the gather kernel against the payload without copying it.
+
+        The kernel reads a fixed-size byte window per field, so slots whose
+        window stays inside the buffer gather straight off a zero-copy view;
+        the handful of slots near the buffer end go through a ~25-byte
+        zero-padded copy of the tail instead of padding the whole payload.
+        """
+        raw = np.frombuffer(self._data, dtype=np.uint8)
+        width = self._width
+        need = 9 if width >= 58 else min(8, (width + 14) // 8)
+        safe = (bit_starts >> np.uint64(3)).astype(np.int64) \
+            <= raw.size - need
+        if safe.all():
+            return _gather_slots(raw, width, bit_starts)
+        tail_off = max(0, raw.size - 16)
+        tail = np.zeros(raw.size - tail_off + _GATHER_PAD, dtype=np.uint8)
+        tail[: raw.size - tail_off] = raw[tail_off:]
+        out = np.empty(bit_starts.size, dtype=np.uint64)
+        out[safe] = _gather_slots(raw, width, bit_starts[safe])
+        unsafe = ~safe
+        out[unsafe] = _gather_slots(
+            tail, width, bit_starts[unsafe] - np.uint64(8 * tail_off))
+        return out
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        """Batch random access: ``gather(idx)[k] == self[idx[k]]``.
+
+        Computes the covering-byte windows of all indices at once — the
+        vectorised replacement for scalar ``read_slot`` loops.  Returns
+        ``uint64`` for ``width <= 64``, an object array beyond that.
+        Negative indices wrap once; out-of-range raises ``IndexError``.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return np.zeros(0, dtype=np.uint64)
+        indices = np.where(indices < 0, indices + self._count, indices)
+        if np.any((indices < 0) | (indices >= self._count)):
+            raise IndexError(f"gather index out of range [0, {self._count})")
+        if self._width == 0:
+            return np.zeros(indices.size, dtype=np.uint64)
+        if self._width > 64:
+            return np.array(
+                [read_slot(self._data, self._width, int(i)) for i in indices],
+                dtype=object,
+            )
+        bit_starts = indices.astype(np.uint64) * np.uint64(self._width)
+        return self._gather_bits(bit_starts)
+
     def slice(self, start: int, stop: int) -> np.ndarray:
         """Decode slots ``[start, stop)`` as a ``uint64`` array."""
         if not 0 <= start <= stop <= self._count:
@@ -188,26 +482,19 @@ class BitPackedArray:
             return np.zeros(n, dtype=np.uint64)
         if self._width > 64:
             return np.array(
-                [read_slot(self._data, self._width, i)
-                 for i in range(start, stop)],
+                unpack_unsigned_big(self._data, self._width, n,
+                                    bit_offset=start * self._width),
                 dtype=object,
             )
         bit_lo = start * self._width
-        byte_lo = bit_lo >> 3
-        raw = np.frombuffer(
-            self._data,
-            dtype=np.uint8,
-            count=min(len(self._data) - byte_lo,
-                      (n * self._width + (bit_lo & 7) + 7) // 8 + 1),
-            offset=byte_lo,
-        )
-        bits = np.unpackbits(raw)
-        off = bit_lo & 7
-        bits = bits[off: off + n * self._width].reshape(n, self._width)
-        shifts = np.arange(self._width - 1, -1, -1, dtype=np.uint64)
-        return (bits.astype(np.uint64) << shifts[None, :]).sum(
-            axis=1, dtype=np.uint64
-        )
+        if bit_lo & 7 == 0:
+            raw = np.frombuffer(self._data, dtype=np.uint8,
+                                offset=bit_lo >> 3)
+            return _decode_contiguous(raw, self._width, n)
+        # unaligned start: batch-gather the n slot windows
+        bit_starts = (np.uint64(bit_lo)
+                      + np.arange(n, dtype=np.uint64) * np.uint64(self._width))
+        return self._gather_bits(bit_starts)
 
     def to_numpy(self) -> np.ndarray:
         return self.slice(0, self._count)
@@ -219,8 +506,19 @@ class BitPackedArray:
     @classmethod
     def from_bytes(cls, buf: bytes, offset: int = 0
                    ) -> tuple["BitPackedArray", int]:
+        if len(buf) < offset + 9:
+            raise ValueError(
+                f"truncated BitPackedArray header: need 9 bytes at offset "
+                f"{offset}, buffer has {len(buf)}"
+            )
         width = buf[offset]
         count = int.from_bytes(buf[offset + 1: offset + 9], "big")
         nbytes = (count * width + 7) // 8
-        payload = buf[offset + 9: offset + 9 + nbytes]
-        return cls(payload, width, count), offset + 9 + nbytes
+        end = offset + 9 + nbytes
+        if len(buf) < end:
+            raise ValueError(
+                f"truncated BitPackedArray payload: header declares "
+                f"{nbytes} bytes, buffer has {len(buf) - offset - 9}"
+            )
+        payload = buf[offset + 9: end]
+        return cls(payload, width, count), end

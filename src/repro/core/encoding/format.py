@@ -81,6 +81,18 @@ class Partition:
         pred = int(self.model.predict_int(np.array([local]))[0])
         return pred + self.deltas[local] + self.bias
 
+    def decode_many(self, local_positions: np.ndarray) -> np.ndarray:
+        """Batch random access: decode arbitrary local positions.
+
+        One vectorised model inference plus one :meth:`BitPackedArray.gather`
+        over the covering bytes of all requested slots — the batch analogue
+        of :meth:`decode_one`.
+        """
+        positions = np.asarray(local_positions, dtype=np.int64)
+        pred = self.model.predict_int(positions)
+        slots = self.deltas.gather(positions).astype(np.int64)
+        return pred + slots + self.bias
+
     def decode_serial(self) -> np.ndarray:
         """Full-partition decode via slope accumulation + correction list.
 
@@ -239,7 +251,7 @@ class CompressedArray:
         """Decode an arbitrary set of positions (late materialization).
 
         Positions are grouped by partition; dense groups decode the covering
-        slice vectorised, sparse groups use per-slot random access — the
+        slice vectorised, sparse groups batch-gather their slots — the
         decoder-side analogue of the engine's bitmap-driven scans (§5.1).
         """
         positions = np.asarray(positions, dtype=np.int64)
@@ -264,7 +276,7 @@ class CompressedArray:
                 decoded = part.decode_slice(lo, hi)
                 out[group] = decoded[local - lo]
             else:
-                out[group] = [part.decode_one(int(p)) for p in local]
+                out[group] = part.decode_many(local)
         return out
 
     def search_sorted(self, value: int) -> int:

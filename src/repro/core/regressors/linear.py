@@ -88,32 +88,67 @@ class LinearModel(FittedModel):
         return self._params[0] + self._params[1] * positions
 
 
-def _upper_hull(ys: np.ndarray) -> list[int]:
-    """Indices of the upper convex hull of ``(i, ys[i])`` (x already sorted)."""
+#: iterated-pruning passes before falling back to the scalar chain
+_HULL_PASS_LIMIT = 64
+
+
+def _scalar_chain(ys: np.ndarray, idx: list[int], sign: float) -> list[int]:
+    """Andrew monotone chain over the surviving indices (fallback path).
+
+    ``sign`` +1 builds the upper hull (pop when the middle point lies on or
+    below the chord), -1 the lower hull.
+    """
     hull: list[int] = []
-    for i in range(len(ys)):
+    for i in idx:
         while len(hull) >= 2:
             i1, i2 = hull[-2], hull[-1]
-            # pop i2 if it lies below or on the segment i1 -> i
-            if (ys[i2] - ys[i1]) * (i - i1) <= (ys[i] - ys[i1]) * (i2 - i1):
+            cross = (ys[i2] - ys[i1]) * (i - i1) \
+                - (ys[i] - ys[i1]) * (i2 - i1)
+            if sign * cross <= 0:
                 hull.pop()
             else:
                 break
         hull.append(i)
     return hull
+
+
+def _hull(ys: np.ndarray, sign: float) -> list[int]:
+    """Convex hull indices of ``(i, ys[i])`` via vectorised iterated pruning.
+
+    Each pass removes *every* point lying on the wrong side of the chord of
+    its current neighbours in one whole-array cross-product test.  A strict
+    hull vertex always lies strictly outside the chord of any two other
+    points, so simultaneous removal never discards one; the passes therefore
+    converge to exactly the hull (collinear interior points are dropped,
+    matching the scalar chain).  Convergence is typically a handful of
+    passes; pathological inputs fall back to the O(n) scalar chain over the
+    (already pruned) survivors after ``_HULL_PASS_LIMIT`` rounds.
+    """
+    n = len(ys)
+    idx = np.arange(n)
+    for _ in range(_HULL_PASS_LIMIT):
+        if idx.size <= 2:
+            return idx.tolist()
+        y = ys[idx]
+        x = idx.astype(np.float64)
+        cross = (y[1:-1] - y[:-2]) * (x[2:] - x[:-2]) \
+            - (y[2:] - y[:-2]) * (x[1:-1] - x[:-2])
+        bad = sign * cross <= 0
+        if not bad.any():
+            return idx.tolist()
+        keep = np.ones(idx.size, dtype=bool)
+        keep[1:-1][bad] = False
+        idx = idx[keep]
+    return _scalar_chain(ys, idx.tolist(), sign)
+
+
+def _upper_hull(ys: np.ndarray) -> list[int]:
+    """Indices of the upper convex hull of ``(i, ys[i])`` (x already sorted)."""
+    return _hull(ys, +1.0)
 
 
 def _lower_hull(ys: np.ndarray) -> list[int]:
-    hull: list[int] = []
-    for i in range(len(ys)):
-        while len(hull) >= 2:
-            i1, i2 = hull[-2], hull[-1]
-            if (ys[i2] - ys[i1]) * (i - i1) >= (ys[i] - ys[i1]) * (i2 - i1):
-                hull.pop()
-            else:
-                break
-        hull.append(i)
-    return hull
+    return _hull(ys, -1.0)
 
 
 def chebyshev_line(values: np.ndarray) -> tuple[float, float, float]:

@@ -112,7 +112,10 @@ class _StringPartition:
 
     def decode_one(self, local: int) -> bytes:
         value = self._predict(local) + self.deltas[local] + self.bias
-        length = self.lengths[local]
+        return self._materialise(value, self.lengths[local])
+
+    def _materialise(self, value: int, length: int) -> bytes:
+        """Digit-extract ``length`` characters from a mapped integer."""
         chars = bytearray()
         if self.base == 1 << self.char_bits:
             mask = self.base - 1
@@ -130,6 +133,51 @@ class _StringPartition:
             for pos in range(length):
                 chars.append(self.charset[digits[pos]])
         return self.prefix + bytes(chars)
+
+    def decode_range(self, lo: int, hi: int) -> list[bytes]:
+        """Decode local positions ``[lo, hi)`` with batched slot reads.
+
+        Residuals and lengths come out of single :meth:`BitPackedArray.slice`
+        calls and the model predictions are one vectorised inference.  When
+        the mapped integers fit a machine word (power-of-two base, no scale
+        shift) the digit extraction itself is a numpy shift/mask + charset
+        table lookup; otherwise only the big-int digit loop stays per-string.
+        """
+        if lo == hi:
+            return []
+        n = hi - lo
+        slots = self.deltas.slice(lo, hi)
+        lengths = self.lengths.slice(lo, hi).astype(np.int64)
+        preds = np.floor(
+            self.theta0 + self.theta1 * np.arange(lo, hi, dtype=np.float64)
+        ).astype(np.int64)
+        total_bits = self.max_len * self.char_bits
+        if (self.base == 1 << self.char_bits and self.shift == 0
+                and total_bits <= 63 and slots.dtype != object
+                and self.max_len > 0):
+            values = (preds + slots.astype(np.int64) + self.bias
+                      ).astype(np.uint64)
+            digit_shifts = ((self.max_len - 1
+                             - np.arange(self.max_len, dtype=np.uint64))
+                            * np.uint64(self.char_bits))
+            ranks = ((values[:, None] >> digit_shifts[None, :])
+                     & np.uint64(self.base - 1))
+            # padding digits (pos >= length) may use ranks beyond the
+            # charset when the base is rounded up to a power of two; they
+            # are cut off below, so the lookup table just needs `base` slots
+            table = np.zeros(self.base, dtype=np.uint8)
+            table[: len(self.charset)] = np.frombuffer(self.charset,
+                                                       dtype=np.uint8)
+            rows = table[ranks].tobytes()
+            prefix, span = self.prefix, self.max_len
+            return [prefix + rows[i * span: i * span + int(lengths[i])]
+                    for i in range(n)]
+        return [
+            self._materialise(
+                (int(preds[i]) << self.shift) + int(slots[i]) + self.bias,
+                int(lengths[i]))
+            for i in range(n)
+        ]
 
     # ------------------------------------------------------ serialisation
     def to_bytes(self) -> bytes:
@@ -174,7 +222,7 @@ class CompressedStrings:
     def decode_all(self) -> list[bytes]:
         out: list[bytes] = []
         for part in self.partitions:
-            out.extend(part.decode_one(i) for i in range(part.length))
+            out.extend(part.decode_range(0, part.length))
         return out
 
     def compressed_size_bytes(self) -> int:

@@ -106,8 +106,7 @@ class EncodedColumn:
         if self._plain is not None:
             return self._plain[positions]
         if self._dict_codes is not None:
-            codes = np.array([self._dict_codes[int(p)] for p in positions],
-                             dtype=np.int64)
+            codes = self._dict_codes.gather(positions).astype(np.int64)
             return self._dict_values[codes]
         if self._leco is not None:
             return self._leco.take(positions)

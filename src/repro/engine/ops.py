@@ -29,18 +29,15 @@ def groupby_avg(ids: EncodedColumn, vals: EncodedColumn,
         return {}
     id_vals = ids.take(positions)
     val_vals = vals.take(positions)
-    sums: dict[int, float] = {}
-    counts: dict[int, int] = {}
     order = np.argsort(id_vals, kind="stable")
     sorted_ids = id_vals[order]
     sorted_vals = val_vals[order]
-    boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
-    for chunk_ids, chunk_vals in zip(np.split(sorted_ids, boundaries),
-                                     np.split(sorted_vals, boundaries)):
-        key = int(chunk_ids[0])
-        sums[key] = float(chunk_vals.sum())
-        counts[key] = len(chunk_vals)
-    return {key: sums[key] / counts[key] for key in sums}
+    starts = np.concatenate(
+        [[0], np.flatnonzero(np.diff(sorted_ids)) + 1])
+    sums = np.add.reduceat(sorted_vals, starts)
+    counts = np.diff(np.append(starts, sorted_ids.size))
+    return {int(key): float(total) / int(count)
+            for key, total, count in zip(sorted_ids[starts], sums, counts)}
 
 
 def bitmap_sum(vals: EncodedColumn, bitmap: np.ndarray) -> int:

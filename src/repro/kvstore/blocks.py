@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 
-from repro.bitio import decode_uvarint, encode_uvarint
+from repro.bitio import encode_uvarint
 
 DEFAULT_BLOCK_SIZE = 4096
 
@@ -27,17 +27,55 @@ def serialize_block(pairs: list[tuple[bytes, bytes]]) -> bytes:
 
 
 def parse_block(data: bytes) -> list[tuple[bytes, bytes]]:
+    """Parse a block's pairs with the varint decode inlined.
+
+    Lengths in a 4KB block are almost always single-byte varints, so the
+    parser special-cases that (one index + compare per length) and only
+    enters the multi-byte continuation loop when the high bit is set.  This
+    halves the per-pair Python overhead versus calling
+    :func:`decode_uvarint` for every field.
+    """
     pairs = []
     offset = 0
     n = len(data)
-    while offset < n:
-        klen, offset = decode_uvarint(data, offset)
-        key = data[offset: offset + klen]
-        offset += klen
-        vlen, offset = decode_uvarint(data, offset)
-        value = data[offset: offset + vlen]
-        offset += vlen
-        pairs.append((key, value))
+    append = pairs.append
+    try:
+        while offset < n:
+            byte = data[offset]
+            offset += 1
+            if byte < 0x80:
+                klen = byte
+            else:
+                klen = byte & 0x7F
+                shift = 7
+                while True:
+                    byte = data[offset]
+                    offset += 1
+                    klen |= (byte & 0x7F) << shift
+                    if byte < 0x80:
+                        break
+                    shift += 7
+            key = data[offset: offset + klen]
+            offset += klen
+            byte = data[offset]
+            offset += 1
+            if byte < 0x80:
+                vlen = byte
+            else:
+                vlen = byte & 0x7F
+                shift = 7
+                while True:
+                    byte = data[offset]
+                    offset += 1
+                    vlen |= (byte & 0x7F) << shift
+                    if byte < 0x80:
+                        break
+                    shift += 7
+            value = data[offset: offset + vlen]
+            offset += vlen
+            append((key, value))
+    except IndexError:
+        raise ValueError("truncated varint") from None
     return pairs
 
 

@@ -195,3 +195,14 @@ class TestStandardLineup:
     def test_lineup_without_rans(self):
         names = [c.name for c in standard_codecs(include_rans=False)]
         assert "rans" not in names
+
+
+class TestDeltaFullRangeRandomAccess:
+    def test_get_exact_for_huge_diffs(self):
+        # adjacent differences spanning >= 2**63 force width-64 slots whose
+        # int64 view is negative; random access must still be exact
+        values = np.array([0, 2 ** 62, -(2 ** 62), 5, -7], dtype=np.int64)
+        enc = DeltaCodec("fix").encode(values)
+        for i, v in enumerate(values):
+            assert enc.get(i) == int(v), i
+        assert np.array_equal(enc.decode_all(), values)

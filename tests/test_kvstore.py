@@ -207,3 +207,14 @@ class TestWorkload:
         keys = skewed_seek_keys(records, 5000, hot_fraction=0.2,
                                 hot_probability=0.8)
         assert len(set(keys)) < 5000
+
+
+class TestBlockTruncation:
+    def test_truncated_varint_raises_value_error(self):
+        with pytest.raises(ValueError, match="truncated varint"):
+            parse_block(b"\x80")
+
+    def test_missing_value_length_raises_value_error(self):
+        blob = serialize_block([(b"k", b"v")])
+        with pytest.raises(ValueError, match="truncated varint"):
+            parse_block(blob[:2])

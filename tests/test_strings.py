@@ -123,3 +123,32 @@ class TestSizeAccounting:
     def test_len(self):
         comp = StringCompressor(4).encode([b"a", b"b", b"c"])
         assert len(comp) == 3
+
+
+class TestWideWidthRegression:
+    """The >64-bit residual widths exercised by long low-entropy strings."""
+
+    def test_decode_range_beyond_64_bit_width(self):
+        # 24-char suffixes over a large charset force the mapped-integer
+        # width well past one machine word
+        rng = np.random.default_rng(7)
+        alphabet = bytes(range(32, 127))
+        strings = sorted(
+            bytes(rng.choice(np.frombuffer(alphabet, dtype=np.uint8), 24))
+            for _ in range(64))
+        comp = StringCompressor(partition_size=16).encode(strings)
+        part = comp.partitions[0]
+        assert part.deltas.width > 64 or comp.partitions[-1].deltas.width > 64
+        assert comp.decode_all() == strings
+        for i in range(len(strings)):
+            assert comp.get(i) == strings[i]
+
+    def test_vectorised_small_width_path_matches_get(self):
+        # short lowercase strings stay within one machine word, hitting the
+        # numpy shift/mask digit-extraction path
+        strings = sorted(
+            f"key{i:04d}".encode() for i in range(200))
+        comp = StringCompressor(partition_size=64).encode(strings)
+        for part in comp.partitions:
+            assert part.max_len * part.char_bits <= 63
+        assert comp.decode_all() == strings
