@@ -7,7 +7,10 @@ one slot read.
 
 Public surface:
 
-* :func:`repro.compress` / :func:`repro.decompress` — integer columns;
+* :mod:`repro.codecs` — the unified codec registry, :class:`CodecSpec`,
+  and the self-describing serialization envelope;
+* :func:`repro.compress` / :func:`repro.decompress` — integer columns
+  (thin shims over the registry);
 * :class:`repro.StringCompressor` — varchar columns (§3.4);
 * :mod:`repro.baselines` — FOR, RLE, Delta, Elias-Fano, rANS, FSST;
 * :mod:`repro.engine` — Arrow/Parquet-like columnar engine (§5.1);
@@ -15,6 +18,8 @@ Public surface:
 * :mod:`repro.datasets` — every dataset family from the evaluation.
 """
 
+from repro import codecs
+from repro.codecs import CodecSpec
 from repro.core import (
     CompressedArray,
     CompressedStrings,
@@ -27,6 +32,8 @@ from repro.core import (
 __version__ = "0.1.0"
 
 __all__ = [
+    "codecs",
+    "CodecSpec",
     "compress",
     "decompress",
     "CompressedArray",

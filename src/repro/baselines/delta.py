@@ -15,7 +15,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import Codec, EncodedSequence, as_int64
-from repro.bitio import BitPackedArray
+from repro.bitio import (
+    BitPackedArray,
+    decode_svarint,
+    decode_uvarint,
+    encode_svarint,
+    encode_uvarint,
+)
 from repro.core.partitioners import (
     AutoFixedPartitioner,
     FixedLengthPartitioner,
@@ -117,8 +123,21 @@ class _DeltaPartition:
         # first value (8) + bias (8) + width byte + payload
         return 8 + 8 + 1 + self.packed.nbytes
 
+    @classmethod
+    def from_parts(cls, start: int, length: int, first: int, bias: int,
+                   packed: BitPackedArray) -> "_DeltaPartition":
+        part = cls.__new__(cls)
+        part.start = start
+        part.length = length
+        part.first = first
+        part.bias = bias
+        part.packed = packed
+        return part
+
 
 class DeltaEncodedSequence(EncodedSequence):
+    wire_id = "delta"
+
     def __init__(self, n: int, partitions: list[_DeltaPartition]):
         self.n = n
         self.partitions = partitions
@@ -135,6 +154,42 @@ class DeltaEncodedSequence(EncodedSequence):
         part = self.partitions[idx]
         return part.decode_prefix(position - part.start)
 
+    def gather(self, positions: np.ndarray) -> np.ndarray:
+        """Batch access: decode each covering partition once, then index.
+
+        Delta has no true random access, but batching amortises the
+        sequential prefix work — every touched partition is decoded with
+        one vectorised cumsum instead of a prefix walk per position.
+        """
+        positions = self._check_indices(positions)
+        out = np.empty(len(positions), dtype=np.int64)
+        part_ids = np.searchsorted(self._starts, positions,
+                                   side="right") - 1
+        for pid in np.unique(part_ids):
+            part = self.partitions[int(pid)]
+            decoded = part.decode()
+            mask = part_ids == pid
+            out[mask] = decoded[positions[mask] - part.start]
+        return out
+
+    def decode_range(self, lo: int, hi: int) -> np.ndarray:
+        """Range decode touching only the partitions covering ``[lo, hi)``."""
+        if not 0 <= lo <= hi <= self.n:
+            raise IndexError(f"bad range [{lo}, {hi}) for n={self.n}")
+        if lo == hi:
+            return np.empty(0, dtype=np.int64)
+        idx = int(np.searchsorted(self._starts, lo, side="right")) - 1
+        chunks = []
+        pos = lo
+        while pos < hi:
+            part = self.partitions[idx]
+            decoded = part.decode()
+            end = min(hi, part.start + part.length)
+            chunks.append(decoded[pos - part.start: end - part.start])
+            pos = part.start + part.length
+            idx += 1
+        return np.concatenate(chunks)
+
     def decode_all(self) -> np.ndarray:
         if not self.partitions:
             return np.empty(0, dtype=np.int64)
@@ -143,6 +198,32 @@ class DeltaEncodedSequence(EncodedSequence):
     def compressed_size_bytes(self) -> int:
         meta = 8 * len(self.partitions)  # start offsets
         return meta + sum(p.size_bytes() for p in self.partitions)
+
+    def payload_bytes(self) -> bytes:
+        out = bytearray()
+        out += encode_uvarint(self.n)
+        out += encode_uvarint(len(self.partitions))
+        for part in self.partitions:
+            out += encode_uvarint(part.start)
+            out += encode_svarint(part.first)
+            out += encode_svarint(part.bias)
+            out += part.packed.to_bytes()
+        return bytes(out)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "DeltaEncodedSequence":
+        n, offset = decode_uvarint(payload, 0)
+        m, offset = decode_uvarint(payload, offset)
+        parts: list[_DeltaPartition] = []
+        for _ in range(m):
+            start, offset = decode_uvarint(payload, offset)
+            first, offset = decode_svarint(payload, offset)
+            bias, offset = decode_svarint(payload, offset)
+            packed, offset = BitPackedArray.from_bytes(payload, offset)
+            # a partition of L values stores L-1 diffs
+            parts.append(_DeltaPartition.from_parts(
+                start, len(packed) + 1, first, bias, packed))
+        return cls(n, parts)
 
 
 class DeltaCodec(Codec):

@@ -13,12 +13,20 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import Codec, EncodedSequence, as_int64
-from repro.bitio import BitPackedArray
+from repro.bitio import (
+    BitPackedArray,
+    decode_svarint,
+    decode_uvarint,
+    encode_svarint,
+    encode_uvarint,
+)
 
 _SELECT_SAMPLE = 512
 
 
 class EliasFanoSequence(EncodedSequence):
+    wire_id = "elias-fano"
+
     def __init__(self, values: np.ndarray):
         values = as_int64(values)
         if np.any(np.diff(values) < 0):
@@ -64,10 +72,59 @@ class EliasFanoSequence(EncodedSequence):
         lows = self._lows.to_numpy().astype(np.int64)
         return self._base + (highs << self._low_bits) + lows
 
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        """Batch select1: vectorised high-part lookup + low-slot gather."""
+        indices = self._check_indices(indices)
+        if indices.size == 0:
+            return np.empty(0, dtype=np.int64)
+        highs = self._ones[indices] - indices
+        if self._low_bits:
+            lows = self._lows.gather(indices).astype(np.int64)
+        else:
+            lows = np.zeros(indices.size, dtype=np.int64)
+        return self._base + (highs << self._low_bits) + lows
+
     def compressed_size_bytes(self) -> int:
         header = 8 + 8 + 1  # base, n, low bit-width
         select = self._select_samples.size * 8
         return (header + self._lows.nbytes + len(self._high) + select)
+
+    def payload_bytes(self) -> bytes:
+        out = bytearray()
+        out += encode_uvarint(self.n)
+        out += encode_svarint(self._base)
+        out.append(self._low_bits)
+        out += self._lows.to_bytes()
+        out += encode_uvarint(self._high_nbits)
+        out += bytes(self._high)
+        return bytes(out)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "EliasFanoSequence":
+        n, offset = decode_uvarint(payload, 0)
+        base, offset = decode_svarint(payload, offset)
+        low_bits = payload[offset]
+        offset += 1
+        lows, offset = BitPackedArray.from_bytes(payload, offset)
+        nbits, offset = decode_uvarint(payload, offset)
+        nbytes = (nbits + 7) // 8
+        if len(payload) < offset + nbytes:
+            raise ValueError("truncated Elias-Fano high bitvector")
+        high = np.frombuffer(payload, dtype=np.uint8, count=nbytes,
+                             offset=offset).copy()
+        seq = cls.__new__(cls)
+        seq.n = n
+        seq._base = base
+        seq._low_bits = low_bits
+        seq._lows = lows
+        seq._high = high
+        seq._high_nbits = nbits
+        ones = np.flatnonzero(
+            np.unpackbits(high, count=nbits)) if nbits else \
+            np.empty(0, dtype=np.int64)
+        seq._ones = ones.astype(np.int64)
+        seq._select_samples = seq._ones[::_SELECT_SAMPLE].astype(np.int64)
+        return seq
 
 
 class EliasFanoCodec(Codec):

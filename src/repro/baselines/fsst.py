@@ -17,6 +17,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.baselines.base import SelfDescribing, normalize_indices
+from repro.bitio import BitPackedArray, decode_uvarint, encode_uvarint
+
 _ESCAPE = 0xFF
 _MAX_SYMBOL_LEN = 8
 _TABLE_SIZE = 255
@@ -88,8 +91,10 @@ def build_symbol_table(sample: bytes | list[bytes], iterations: int = 5
     return {sym: code for code, sym in enumerate(symbols)}
 
 
-class FSSTCompressedStrings:
+class FSSTCompressedStrings(SelfDescribing):
     """FSST-encoded string column with block-delta offsets."""
+
+    wire_id = "fsst"
 
     def __init__(self, payload: bytes, offsets: np.ndarray,
                  symbols: list[bytes], offset_block: int):
@@ -152,9 +157,50 @@ class FSSTCompressedStrings:
         return [self._decode_codes(payload[int(bounds[i]): int(bounds[i + 1])])
                 for i in range(self.n)]
 
+    def gather(self, indices) -> list[bytes]:
+        """Batch access: one offset slice per index, no prefix emulation."""
+        indices = normalize_indices(indices, self.n)
+        payload = self.payload
+        return [self._decode_codes(
+            payload[int(self._offsets[i]): int(self._offsets[i + 1])])
+            for i in indices]
+
     def compressed_size_bytes(self) -> int:
         table = sum(1 + len(s) for s in self.symbols)
         return len(self.payload) + table + self._packed_offsets_bytes
+
+    def size_bytes(self) -> int:
+        return self.compressed_size_bytes()
+
+    def __len__(self) -> int:
+        return self.n
+
+    # ------------------------------------------------------ serialisation
+    def payload_bytes(self) -> bytes:
+        out = bytearray()
+        out += encode_uvarint(self.offset_block)
+        out += encode_uvarint(len(self.symbols))
+        for sym in self.symbols:
+            out.append(len(sym))
+            out += sym
+        out += BitPackedArray.from_values(
+            self._offsets.astype(np.uint64)).to_bytes()
+        out += self.payload
+        return bytes(out)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "FSSTCompressedStrings":
+        offset_block, offset = decode_uvarint(payload, 0)
+        n_symbols, offset = decode_uvarint(payload, offset)
+        symbols: list[bytes] = []
+        for _ in range(n_symbols):
+            ln = payload[offset]
+            offset += 1
+            symbols.append(payload[offset: offset + ln])
+            offset += ln
+        packed, offset = BitPackedArray.from_bytes(payload, offset)
+        offsets = packed.to_numpy().astype(np.int64)
+        return cls(payload[offset:], offsets, symbols, offset_block)
 
 
 class FSSTCodec:

@@ -17,6 +17,8 @@ from repro.core.regressors import ConstantRegressor, Regressor
 class LecoEncodedSequence(EncodedSequence):
     """Adapter giving :class:`CompressedArray` the codec surface."""
 
+    wire_id = "leco"
+
     def __init__(self, array: CompressedArray):
         self.array = array
 
@@ -26,11 +28,34 @@ class LecoEncodedSequence(EncodedSequence):
     def get(self, position: int) -> int:
         return self.array.get(position)
 
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        """Batch random access via partition-grouped slot gathers."""
+        return self.array.take(self._check_indices(indices))
+
     def decode_all(self) -> np.ndarray:
         return self.array.decode_all()
 
     def decode_range(self, lo: int, hi: int) -> np.ndarray:
+        """Partition-pruned range decode (only covering partitions)."""
         return self.array.decode_range(lo, hi)
+
+    def filter_range(self, lo: int, hi: int) -> np.ndarray:
+        """Range predicate with model-based partition pruning (§5.1.1).
+
+        Partitions whose model + residual-width band cannot intersect
+        ``[lo, hi)`` are skipped without touching their delta arrays.
+        """
+        array = self.array
+        if not array.partitions:
+            return np.zeros(len(self), dtype=bool)
+        bitmap = np.zeros(len(self), dtype=bool)
+        bounds = array.partition_value_bounds()
+        for j, part in enumerate(array.partitions):
+            if bounds[j, 1] < lo or bounds[j, 0] >= hi:
+                continue  # pruned: cannot contain matches
+            decoded = part.decode_slice(0, part.length)
+            bitmap[part.start: part.end] = (decoded >= lo) & (decoded < hi)
+        return bitmap
 
     def compressed_size_bytes(self) -> int:
         return self.array.compressed_size_bytes()
@@ -38,9 +63,18 @@ class LecoEncodedSequence(EncodedSequence):
     def model_size_bytes(self) -> int:
         return self.array.model_size_bytes()
 
+    def payload_bytes(self) -> bytes:
+        return self.array.to_bytes()
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "LecoEncodedSequence":
+        return cls(CompressedArray.from_bytes(payload))
+
 
 class LecoCodec(Codec):
     """LeCo with a configurable regressor and partitioner."""
+
+    supports_range_pruning = True
 
     def __init__(self, regressor: Regressor | str = "linear",
                  partitioner="fixed", tau: float = 0.05,

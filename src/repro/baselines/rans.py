@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.base import Codec, EncodedSequence, as_int64
+from repro.bitio import decode_uvarint, encode_uvarint
 
 _PROB_BITS = 12
 _PROB_SCALE = 1 << _PROB_BITS
@@ -39,6 +40,8 @@ def _quantise_freqs(counts: np.ndarray) -> np.ndarray:
 
 
 class RansEncodedSequence(EncodedSequence):
+    wire_id = "rans"
+
     def __init__(self, n: int, width: int, freqs: np.ndarray,
                  payload: bytes, state: int):
         self.n = n
@@ -83,13 +86,35 @@ class RansEncodedSequence(EncodedSequence):
                 pos += 1
         return np.frombuffer(bytes(out), dtype=np.uint8)
 
-    def decode_all(self) -> np.ndarray:
-        raw = self._decode_bytes(self.n * self.width)
-        if self.n == 0:
+    def _decode_prefix_values(self, count: int) -> np.ndarray:
+        """Decode the first ``count`` values (the sequential-access cost)."""
+        if count == 0:
             return np.empty(0, dtype=np.int64)
-        padded = np.zeros((self.n, 8), dtype=np.uint8)
-        padded[:, : self.width] = raw.reshape(self.n, self.width)
+        raw = self._decode_bytes(count * self.width)
+        padded = np.zeros((count, 8), dtype=np.uint8)
+        padded[:, : self.width] = raw.reshape(count, self.width)
         return padded.view(np.uint64).ravel().astype(np.int64)
+
+    def decode_all(self) -> np.ndarray:
+        return self._decode_prefix_values(self.n)
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        """Batch access: one prefix decode up to the furthest index.
+
+        rANS stays strictly sequential, but a batch shares the prefix work
+        instead of re-decoding it per position as scalar ``get`` must.
+        """
+        indices = self._check_indices(indices)
+        if indices.size == 0:
+            return np.empty(0, dtype=np.int64)
+        prefix = self._decode_prefix_values(int(indices.max()) + 1)
+        return prefix[indices]
+
+    def decode_range(self, lo: int, hi: int) -> np.ndarray:
+        """Prefix decode up to ``hi`` and slice (no suffix work)."""
+        if not 0 <= lo <= hi <= self.n:
+            raise IndexError(f"bad range [{lo}, {hi}) for n={self.n}")
+        return self._decode_prefix_values(hi)[lo:hi]
 
     def get(self, position: int) -> int:
         if not 0 <= position < self.n:
@@ -99,11 +124,35 @@ class RansEncodedSequence(EncodedSequence):
         value = 0
         for byte in chunk[::-1]:
             value = (value << 8) | int(byte)
+        # full-width values are the little-endian image of an int64:
+        # fold back to signed (decode_all's uint64 -> int64 cast does this)
+        if value >= 1 << 63:
+            value -= 1 << 64
         return value
 
     def compressed_size_bytes(self) -> int:
         # freq table: 256 x 12 bits; state: 4 bytes; header: 9
         return len(self._payload) + (256 * _PROB_BITS) // 8 + 4 + 9
+
+    def payload_bytes(self) -> bytes:
+        out = bytearray()
+        out += encode_uvarint(self.n)
+        out.append(self.width)
+        out += self._freqs.astype(">u2").tobytes()
+        out += encode_uvarint(self._state)
+        out += self._payload
+        return bytes(out)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "RansEncodedSequence":
+        n, offset = decode_uvarint(payload, 0)
+        width = payload[offset]
+        offset += 1
+        freqs = np.frombuffer(payload, dtype=">u2", count=256,
+                              offset=offset).astype(np.int64)
+        offset += 512
+        state, offset = decode_uvarint(payload, offset)
+        return cls(n, width, freqs, payload[offset:], state)
 
 
 class RansCodec(Codec):

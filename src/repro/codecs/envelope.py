@@ -1,0 +1,76 @@
+"""Self-describing serialization envelope shared by every registered codec.
+
+Any :meth:`EncodedSequence.to_bytes` image starts with the same fixed
+header, so a reader can reconstruct the sequence without knowing which
+scheme produced it::
+
+    +-------+---------+----------+------------+-------------+---------+
+    | magic | version | id length| codec id   | payload len | payload |
+    | 4 B   | 1 B     | 1 B      | ascii      | uvarint     | ...     |
+    +-------+---------+----------+------------+-------------+---------+
+
+The codec id is the *wire format* name (``"leco"``, ``"delta"``, ...), the
+key the registry uses to find the payload decoder.  The explicit payload
+length makes truncation detectable before any codec-specific parsing runs;
+foreign blobs fail on the magic.  Everything raises :class:`ValueError` —
+the registry's :func:`repro.codecs.from_bytes` is the public entry point.
+"""
+
+from __future__ import annotations
+
+from repro.bitio import decode_uvarint, encode_uvarint
+
+#: four magic bytes identifying a repro codec envelope
+MAGIC = b"RPRC"
+#: current envelope layout version
+VERSION = 1
+
+#: fixed prefix before the codec id: magic + version + id length
+_HEADER_LEN = len(MAGIC) + 2
+
+
+def pack(codec_id: str, payload: bytes, version: int = VERSION) -> bytes:
+    """Wrap ``payload`` in an envelope tagged with ``codec_id``."""
+    ident = codec_id.encode("ascii")
+    if not 1 <= len(ident) <= 255:
+        raise ValueError(f"codec id must be 1-255 ascii bytes: {codec_id!r}")
+    out = bytearray(MAGIC)
+    out.append(version)
+    out.append(len(ident))
+    out += ident
+    out += encode_uvarint(len(payload))
+    out += payload
+    return bytes(out)
+
+
+def unpack(blob: bytes) -> tuple[str, int, bytes]:
+    """Parse an envelope; returns ``(codec_id, version, payload)``.
+
+    Raises :class:`ValueError` on foreign magic, unsupported versions, and
+    truncated blobs (header or payload).
+    """
+    blob = bytes(blob)
+    if len(blob) < _HEADER_LEN:
+        raise ValueError(
+            f"truncated envelope: {len(blob)} bytes is shorter than the "
+            f"{_HEADER_LEN}-byte header")
+    if blob[:4] != MAGIC:
+        raise ValueError(
+            f"not a repro codec envelope (magic {blob[:4]!r}, "
+            f"expected {MAGIC!r})")
+    version = blob[4]
+    if version > VERSION:
+        raise ValueError(f"unsupported envelope version {version}")
+    id_len = blob[5]
+    if id_len == 0:
+        raise ValueError("envelope carries an empty codec id")
+    id_end = _HEADER_LEN + id_len
+    if len(blob) < id_end:
+        raise ValueError("truncated envelope: codec id cut short")
+    codec_id = blob[_HEADER_LEN:id_end].decode("ascii")
+    payload_len, offset = decode_uvarint(blob, id_end)
+    if len(blob) < offset + payload_len:
+        raise ValueError(
+            f"truncated envelope: payload declares {payload_len} bytes, "
+            f"{len(blob) - offset} present")
+    return codec_id, version, blob[offset: offset + payload_len]

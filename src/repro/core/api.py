@@ -4,23 +4,32 @@ Typical usage::
 
     import numpy as np
     from repro import compress, decompress
+    from repro.codecs import CodecSpec
 
     keys = np.cumsum(np.random.poisson(40, 100_000))
-    arr = compress(keys)               # CompressedArray
-    arr[12_345]                        # random access, no full decode
+    arr = compress(keys)                    # CompressedArray
+    arr[12_345]                             # random access, no full decode
     assert np.array_equal(decompress(arr), keys)
 
-``mode`` picks the partitioning strategy: ``"fix"`` (sampling-searched
-fixed-length partitions), ``"var"`` (split–merge variable-length), or
-``"auto"`` (hardness-based advice, §3.2.3).  ``regressor="auto"`` lets the
-Hyperparameter-Advisor recommend a model family per partition (§3.1).
+    arr = compress(keys, CodecSpec(mode="var", regressor="auto"))
+
+:func:`compress` / :func:`decompress` are thin shims over the codec
+registry (:mod:`repro.codecs`): configuration travels as one
+:class:`~repro.codecs.CodecSpec` instead of loose string/kwarg soup, and
+the legacy keyword form builds a spec on the fly.  ``mode`` picks the
+partitioning strategy: ``"fix"`` (sampling-searched fixed-length
+partitions), ``"var"`` (split–merge variable-length), or ``"auto"``
+(hardness-based advice, §3.2.3).  ``regressor="auto"`` lets the
+Hyperparameter-Advisor recommend a model family per partition (§3.1); the
+selector it uses lives on the spec (injectable, lazily built, thread-safe)
+rather than in a module-global singleton.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.advisor import RegressorSelector
+from repro.codecs.spec import CodecSpec
 from repro.core.encoding import CompressedArray, LecoEncoder, encode_partition
 from repro.core.partitioners import (
     AutoFixedPartitioner,
@@ -29,19 +38,14 @@ from repro.core.partitioners import (
 )
 from repro.core.regressors import get_regressor
 
-_SELECTOR: RegressorSelector | None = None
+#: registry names whose sequences wrap a :class:`CompressedArray`
+_LECO_FAMILY = ("leco", "leco-fix", "leco-var", "leco-auto")
 
 
-def _selector() -> RegressorSelector:
-    global _SELECTOR
-    if _SELECTOR is None:
-        _SELECTOR = RegressorSelector()
-    return _SELECTOR
-
-
-def compress(values: np.ndarray, mode: str = "fix",
+def compress(values: np.ndarray, mode: str | CodecSpec = "fix",
              regressor: str = "linear", tau: float = 0.05,
-             max_partition_size: int = 10_000) -> CompressedArray:
+             max_partition_size: int = 10_000,
+             selector=None) -> CompressedArray:
     """Compress an integer sequence with LeCo.
 
     Parameters
@@ -49,38 +53,60 @@ def compress(values: np.ndarray, mode: str = "fix",
     values:
         Any integer numpy array (or list) within the int64 range.
     mode:
-        ``"fix"``, ``"var"``, or ``"auto"`` (advisor decides fix vs var).
+        ``"fix"``, ``"var"``, ``"auto"`` (advisor decides fix vs var) —
+        or a full :class:`~repro.codecs.CodecSpec`, in which case the
+        remaining keywords are ignored.
     regressor:
         A registered regressor name, or ``"auto"`` for the per-partition
         Regressor Selector.
+    selector:
+        Optional Regressor-Selector instance for ``regressor="auto"``
+        (defaults to the shared lazily-built one).
     """
+    if isinstance(mode, CodecSpec):
+        spec = mode
+    else:
+        spec = CodecSpec(codec="leco", mode=mode, regressor=regressor,
+                         tau=tau, max_partition_size=max_partition_size,
+                         selector=selector)
+    if spec.codec not in _LECO_FAMILY:
+        raise ValueError(
+            f"compress() is the LeCo shim; use repro.codecs.get({spec.codec!r})"
+            " for other schemes")
+    from repro import codecs
+
+    return codecs.get(spec.codec, spec=spec).encode(
+        np.asarray(values)).array
+
+
+def encode_with_spec(values: np.ndarray, spec: CodecSpec
+                     ) -> CompressedArray:
+    """LeCo encode driven by a :class:`CodecSpec` (registry back end)."""
     values = np.asarray(values)
-    if mode not in ("fix", "var", "auto"):
-        raise ValueError(f"mode must be fix/var/auto, got {mode!r}")
+    mode = spec.mode
     if mode == "auto":
         report = advise_partitioning(values.astype(np.int64))
         mode = "var" if report.recommend_variable else "fix"
 
-    if regressor == "auto":
-        return _compress_mixed(values.astype(np.int64), mode, tau,
-                               max_partition_size)
+    if spec.regressor == "auto":
+        return _compress_mixed(values.astype(np.int64), mode, spec)
     encoder = LecoEncoder(
-        regressor=regressor,
+        regressor=spec.regressor,
         partitioner="variable" if mode == "var" else "fixed",
-        tau=tau, max_partition_size=max_partition_size)
+        tau=spec.tau, max_partition_size=spec.max_partition_size)
     return encoder.encode(values)
 
 
-def _compress_mixed(values: np.ndarray, mode: str, tau: float,
-                    max_partition_size: int) -> CompressedArray:
+def _compress_mixed(values: np.ndarray, mode: str, spec: CodecSpec
+                    ) -> CompressedArray:
     """Partition with the linear cost model, then recommend per partition."""
     planner = get_regressor("linear")
     if mode == "var":
-        partitioner = SplitMergePartitioner(tau=tau)
+        partitioner = SplitMergePartitioner(tau=spec.tau)
     else:
-        partitioner = AutoFixedPartitioner(max_size=max_partition_size)
+        partitioner = AutoFixedPartitioner(max_size=spec.max_partition_size)
     bounds = partitioner.partition(values, planner)
-    selector = _selector()
+    selector = spec.resolve_selector()
     partitions = []
     for start, end in bounds:
         seg = values[start:end]
@@ -95,7 +121,17 @@ def _compress_mixed(values: np.ndarray, mode: str, tau: float,
 
 
 def decompress(compressed: CompressedArray | bytes) -> np.ndarray:
-    """Inverse of :func:`compress`; accepts the object or its bytes."""
+    """Inverse of :func:`compress`; accepts the object or its bytes.
+
+    Byte inputs may be either a raw ``CompressedArray`` image or any
+    registered codec's self-describing envelope
+    (:func:`repro.codecs.from_bytes`).
+    """
     if isinstance(compressed, (bytes, bytearray)):
-        compressed = CompressedArray.from_bytes(bytes(compressed))
+        blob = bytes(compressed)
+        from repro import codecs
+
+        if blob[:4] == codecs.MAGIC:
+            return np.asarray(codecs.from_bytes(blob).decode_all())
+        compressed = CompressedArray.from_bytes(blob)
     return compressed.decode_all()

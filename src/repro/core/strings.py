@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.baselines.base import SelfDescribing, normalize_indices
 from repro.bitio import (
     BitPackedArray,
     decode_svarint,
@@ -199,9 +200,54 @@ class _StringPartition:
     def size_bytes(self) -> int:
         return len(self.to_bytes())
 
+    @classmethod
+    def from_bytes(cls, buf: bytes, offset: int, start: int
+                   ) -> tuple["_StringPartition", int]:
+        """Inverse of :meth:`to_bytes`; ``start`` comes from the container."""
+        plen, offset = decode_uvarint(buf, offset)
+        prefix = buf[offset: offset + plen]
+        offset += plen
+        clen, offset = decode_uvarint(buf, offset)
+        charset = buf[offset: offset + clen]
+        offset += clen
+        pow2 = bool(buf[offset])
+        offset += 1
+        max_len, offset = decode_uvarint(buf, offset)
+        shift, offset = decode_uvarint(buf, offset)
+        theta0 = float(np.frombuffer(buf, np.float64, 1, offset)[0])
+        theta1 = float(np.frombuffer(buf, np.float64, 1, offset + 8)[0])
+        offset += 16
+        bias, offset = decode_svarint(buf, offset)
+        lengths, offset = BitPackedArray.from_bytes(buf, offset)
+        deltas, offset = BitPackedArray.from_bytes(buf, offset)
 
-class CompressedStrings:
+        part = cls.__new__(cls)
+        part.start = start
+        part.length = len(lengths)
+        part.prefix = prefix
+        part.charset = charset
+        k = len(charset)
+        if pow2:
+            part.char_bits = max((k - 1).bit_length(), 1)
+            part.base = 1 << part.char_bits
+        else:
+            part.base = max(k, 2)
+            part.char_bits = max((part.base - 1).bit_length(), 1)
+        part.max_len = max_len
+        part.shift = shift
+        part.theta0 = theta0
+        part.theta1 = theta1
+        part.bias = bias
+        part.lengths = lengths
+        part.deltas = deltas
+        part._rank = {c: i for i, c in enumerate(charset)}
+        return part, offset
+
+
+class CompressedStrings(SelfDescribing):
     """A compressed string column with random access."""
+
+    wire_id = "leco-str"
 
     def __init__(self, partitions: list[_StringPartition], n: int):
         self.partitions = partitions
@@ -225,9 +271,42 @@ class CompressedStrings:
             out.extend(part.decode_range(0, part.length))
         return out
 
+    def gather(self, indices) -> list[bytes]:
+        """Batch random access (per-position model inference + slot read)."""
+        indices = normalize_indices(indices, self.n)
+        part_ids = np.searchsorted(self._starts, indices, "right") - 1
+        return [self.partitions[int(pid)].decode_one(int(pos) -
+                self.partitions[int(pid)].start)
+                for pid, pos in zip(part_ids, indices)]
+
     def compressed_size_bytes(self) -> int:
         meta = 8 * len(self.partitions)
         return meta + sum(p.size_bytes() for p in self.partitions)
+
+    def size_bytes(self) -> int:
+        return self.compressed_size_bytes()
+
+    # ------------------------------------------------------ serialisation
+    def payload_bytes(self) -> bytes:
+        out = bytearray()
+        out += encode_uvarint(self.n)
+        out += encode_uvarint(len(self.partitions))
+        for part in self.partitions:
+            out += encode_uvarint(part.start)
+            out += part.to_bytes()
+        return bytes(out)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "CompressedStrings":
+        n, offset = decode_uvarint(payload, 0)
+        m, offset = decode_uvarint(payload, offset)
+        partitions = []
+        for _ in range(m):
+            start, offset = decode_uvarint(payload, offset)
+            part, offset = _StringPartition.from_bytes(payload, offset,
+                                                       start)
+            partitions.append(part)
+        return cls(partitions, n)
 
 
 class StringCompressor:

@@ -5,144 +5,92 @@ encodings and serves the three access patterns the execution engine needs:
 
 * ``filter_range`` — predicate evaluation producing a position bitmap, with
   LeCo's model-based partition pruning;
-* ``take`` — late-materialized random access driven by a bitmap;
+* ``take`` — late-materialized batch random access driven by a bitmap;
 * ``decode_all`` — full scan.
 
-Encodings: ``plain`` (raw width), ``dict`` (Parquet's default: sorted
-dictionary + bit-packed codes, falling back to plain at high cardinality),
-``for``, ``delta``, ``leco``.
+The column is a thin consumer of the codec registry: the encoding name is
+resolved through :func:`repro.codecs.get` and every access dispatches
+through the vectorised :class:`~repro.baselines.base.EncodedSequence`
+protocol — no per-encoding branches.  ``dict`` keeps Parquet's behaviour
+of falling back to ``plain`` at high cardinality; the column records both
+``requested_encoding`` and ``effective_encoding`` so callers and
+benchmarks can tell what actually ran.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.delta import DeltaCodec, DeltaEncodedSequence
-from repro.bitio import BitPackedArray
-from repro.core.encoding import CompressedArray, LecoEncoder
-from repro.core.regressors import ConstantRegressor
+from repro import codecs
 
 ENCODINGS = ("plain", "dict", "for", "delta", "leco")
 
-#: Parquet-style fallback: dictionaries beyond this NDV share are pointless
-_DICT_MAX_FRACTION = 0.5
+
+def _codec_for(encoding: str, partition_size: int):
+    """Registry construction kwargs for one engine encoding."""
+    if encoding == "plain":
+        return codecs.get("plain")
+    if encoding == "dict":
+        return codecs.get("dict", plain_fallback=True)
+    if encoding == "for":
+        return codecs.get("for", frame_size=partition_size)
+    if encoding == "delta":
+        return codecs.get("delta", partition_size=partition_size)
+    return codecs.get("leco", partitioner=partition_size)
 
 
 class EncodedColumn:
-    """One column under one encoding."""
+    """One column under one registry-built encoding."""
 
     def __init__(self, values: np.ndarray, encoding: str,
                  partition_size: int = 10_000):
         values = np.asarray(values, dtype=np.int64)
         if encoding not in ENCODINGS:
             raise ValueError(f"unknown encoding {encoding!r}")
-        self.encoding = encoding
+        self.requested_encoding = encoding
         self.n = len(values)
-        self._plain: np.ndarray | None = None
-        self._dict_values: np.ndarray | None = None
-        self._dict_codes: BitPackedArray | None = None
-        self._leco: CompressedArray | None = None
-        self._delta: DeltaEncodedSequence | None = None
+        self._seq = _codec_for(encoding, partition_size).encode(values)
+        # dict falls back to plain beyond the cardinality threshold; the
+        # effective encoding is what the sequence actually is
+        self.effective_encoding = encoding
+        if encoding == "dict" and self._seq.wire_id == "plain":
+            self.effective_encoding = "plain"
 
-        if encoding == "dict":
-            uniques, codes = np.unique(values, return_inverse=True)
-            if len(uniques) > _DICT_MAX_FRACTION * max(self.n, 1):
-                self.encoding = "plain"
-                self._plain = values
-            else:
-                self._dict_values = uniques
-                self._dict_codes = BitPackedArray.from_values(
-                    codes.astype(np.uint64))
-        elif encoding == "plain":
-            self._plain = values
-        elif encoding == "for":
-            enc = LecoEncoder(ConstantRegressor(),
-                              partitioner=partition_size)
-            self._leco = enc.encode(values)
-        elif encoding == "leco":
-            enc = LecoEncoder("linear", partitioner=partition_size)
-            self._leco = enc.encode(values)
-        elif encoding == "delta":
-            self._delta = DeltaCodec(
-                "fix", partition_size=partition_size).encode(values)
+    @property
+    def encoding(self) -> str:
+        """The encoding that actually ran (``effective_encoding``)."""
+        return self.effective_encoding
+
+    @property
+    def sequence(self):
+        """The underlying :class:`EncodedSequence` (protocol surface)."""
+        return self._seq
 
     # ---------------------------------------------------------------- size
     def size_bytes(self) -> int:
-        if self._plain is not None:
-            width = _natural_width(self._plain)
-            return self.n * width
-        if self._dict_codes is not None:
-            return (self._dict_codes.nbytes
-                    + len(self._dict_values) * 8 + 16)
-        if self._leco is not None:
-            return self._leco.compressed_size_bytes()
-        return self._delta.compressed_size_bytes()
+        return self._seq.size_bytes()
 
     def payload_bytes(self) -> bytes:
-        """Serialised image (used for block compression and I/O charging)."""
-        if self._plain is not None:
-            return self._plain.tobytes()
-        if self._dict_codes is not None:
-            return self._dict_values.tobytes() + self._dict_codes.data
-        if self._leco is not None:
-            return self._leco.to_bytes()
-        parts = [p.packed.data for p in self._delta.partitions]
-        return b"".join(parts)
+        """Serialised image (used for block compression and I/O charging).
+
+        The self-describing envelope: any column chunk can be revived with
+        :func:`repro.codecs.from_bytes` without knowing its encoding.
+        """
+        return self._seq.to_bytes()
 
     # -------------------------------------------------------------- access
     def decode_all(self) -> np.ndarray:
-        if self._plain is not None:
-            return self._plain
-        if self._dict_codes is not None:
-            return self._dict_values[
-                self._dict_codes.to_numpy().astype(np.int64)]
-        if self._leco is not None:
-            return self._leco.decode_all()
-        return self._delta.decode_all()
+        return self._seq.decode_all()
 
     def take(self, positions: np.ndarray) -> np.ndarray:
         """Decode selected positions (bitmap-driven late materialization)."""
-        positions = np.asarray(positions, dtype=np.int64)
-        if self._plain is not None:
-            return self._plain[positions]
-        if self._dict_codes is not None:
-            codes = self._dict_codes.gather(positions).astype(np.int64)
-            return self._dict_values[codes]
-        if self._leco is not None:
-            return self._leco.take(positions)
-        # delta: no random access — decode covering partitions sequentially
-        out = np.empty(len(positions), dtype=np.int64)
-        starts = self._delta._starts
-        part_ids = np.searchsorted(starts, positions, side="right") - 1
-        for pid in np.unique(part_ids):
-            part = self._delta.partitions[int(pid)]
-            decoded = part.decode()
-            mask = part_ids == pid
-            out[mask] = decoded[positions[mask] - part.start]
-        return out
+        return self._seq.gather(np.asarray(positions, dtype=np.int64))
 
     def filter_range(self, lo: int, hi: int) -> np.ndarray:
         """Positions with ``lo <= v < hi`` as a boolean bitmap.
 
-        LeCo prunes whole partitions whose model+width band misses the
-        range (§5.1.1); other encodings must materialise and compare.
+        LeCo-family sequences prune whole partitions whose model+width
+        band misses the range (§5.1.1); other encodings materialise and
+        compare — both behind the sequence protocol's ``filter_range``.
         """
-        if self._leco is not None and self._leco.partitions:
-            bitmap = np.zeros(self.n, dtype=bool)
-            bounds = self._leco.partition_value_bounds()
-            for j, part in enumerate(self._leco.partitions):
-                if bounds[j, 1] < lo or bounds[j, 0] >= hi:
-                    continue  # pruned: cannot contain matches
-                decoded = part.decode_slice(0, part.length)
-                bitmap[part.start: part.end] = ((decoded >= lo)
-                                                & (decoded < hi))
-            return bitmap
-        values = self.decode_all()
-        return (values >= lo) & (values < hi)
-
-
-def _natural_width(values: np.ndarray) -> int:
-    if values.size == 0:
-        return 4
-    lo, hi = int(values.min()), int(values.max())
-    return 4 if lo >= -(1 << 31) and hi < (1 << 31) else 8
+        return self._seq.filter_range(lo, hi)

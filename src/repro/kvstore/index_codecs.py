@@ -20,9 +20,8 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.baselines.leco import LecoCodec
+from repro import codecs
 from repro.bitio import decode_uvarint, encode_uvarint
-from repro.core.strings import StringCompressor
 
 
 class IndexBlock(ABC):
@@ -111,8 +110,8 @@ class LecoIndex(IndexBlock):
 
     def __init__(self, keys: list[bytes], partition_size: int = 64):
         self._n = len(keys)
-        self._keys = StringCompressor(
-            partition_size=partition_size).encode(keys)
+        self._keys = codecs.get(
+            "leco-str", partition_size=partition_size).encode(keys)
 
     @property
     def entry_count(self) -> int:
@@ -134,20 +133,21 @@ class LecoIndex(IndexBlock):
         return self._keys.compressed_size_bytes()
 
 
+#: registry construction for each block-handle method (paper §5.2)
+_HANDLE_CODECS = {
+    "leco": lambda: codecs.get("leco", partitioner=64),
+    "delta": lambda: codecs.get("delta", partition_size=64),
+}
+
+
 def encode_block_handles(offsets: np.ndarray, method: str) -> int:
     """Stored size of the block-handle (offset) sequence for each method."""
     offsets = np.asarray(offsets, dtype=np.int64)
-    if method == "leco":
-        return LecoCodec("linear", partitioner=64).encode(
-            offsets).compressed_size_bytes()
-    if method == "delta":
-        from repro.baselines.delta import DeltaCodec
-
-        return DeltaCodec("fix", partition_size=64).encode(
-            offsets).compressed_size_bytes()
     if method == "raw":
         return offsets.nbytes
-    raise ValueError(f"unknown handle method {method!r}")
+    if method not in _HANDLE_CODECS:
+        raise ValueError(f"unknown handle method {method!r}")
+    return _HANDLE_CODECS[method]().encode(offsets).size_bytes()
 
 
 def _shared_prefix_len(a: bytes, b: bytes) -> int:

@@ -92,3 +92,75 @@ class TestBenchHarness:
         assert lines[0] == "T"
         assert "a" in lines[1] and "b" in lines[1]
         assert len(lines) == 5
+
+    def test_scalar_access_mode_selectable(self):
+        ds = load("linear", n=2000)
+        m = measure_codec(LecoCodec("linear", partitioner=256), ds,
+                          n_random=20, repeats=1, access_mode="scalar")
+        assert m.access_mode == "scalar"
+        assert m.random_access_ns > 0
+        with pytest.raises(ValueError):
+            measure_codec(LecoCodec("linear", partitioner=256), ds,
+                          access_mode="bogus")
+
+
+class TestCodecSpec:
+    def test_spec_accepted_by_compress(self):
+        from repro import CodecSpec
+
+        values = np.cumsum(np.arange(3000) % 7).astype(np.int64)
+        arr = compress(values, CodecSpec(mode="var", tau=0.05))
+        assert np.array_equal(decompress(arr), values)
+
+    def test_spec_validates_mode(self):
+        from repro import CodecSpec
+
+        with pytest.raises(ValueError):
+            CodecSpec(mode="bogus")
+
+    def test_injected_selector_is_used(self):
+        from repro import CodecSpec
+
+        class CountingSelector:
+            def __init__(self):
+                self.calls = 0
+
+            def recommend(self, values):
+                self.calls += 1
+                from repro.core.regressors import get_regressor
+
+                return get_regressor("linear")
+
+        selector = CountingSelector()
+        values = np.cumsum(np.arange(5000) % 11).astype(np.int64)
+        arr = compress(values, CodecSpec(regressor="auto",
+                                         selector=selector))
+        assert selector.calls == len(arr.partitions)
+        assert np.array_equal(decompress(arr), values)
+
+    def test_concurrent_auto_compress(self):
+        """First-use selector construction must not race across threads."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        import repro.codecs.spec as spec_mod
+        from repro import CodecSpec
+
+        old = spec_mod._default_selector
+        spec_mod._default_selector = None  # force rebuild under contention
+        try:
+            values = np.cumsum(np.arange(2000) % 5).astype(np.int64)
+            spec = CodecSpec(regressor="auto")
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                results = list(pool.map(
+                    lambda _: compress(values, spec), range(4)))
+            for arr in results:
+                assert np.array_equal(decompress(arr), values)
+        finally:
+            spec_mod._default_selector = old
+
+    def test_decompress_accepts_envelope_blob(self):
+        from repro import codecs
+
+        values = np.cumsum(np.arange(2000) % 13).astype(np.int64)
+        blob = codecs.get("delta").encode(values).to_bytes()
+        assert np.array_equal(decompress(blob), values)

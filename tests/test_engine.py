@@ -53,6 +53,26 @@ class TestEncodedColumn:
         values = np.arange(1000, dtype=np.int64)
         col = EncodedColumn(values, "dict")
         assert col.encoding == "plain"
+        # the fallback is no longer silent: both sides are recorded
+        assert col.requested_encoding == "dict"
+        assert col.effective_encoding == "plain"
+
+    def test_requested_vs_effective_without_fallback(self):
+        values = np.zeros(1000, dtype=np.int64)
+        col = EncodedColumn(values, "dict")
+        assert col.requested_encoding == "dict"
+        assert col.effective_encoding == "dict"
+
+    @pytest.mark.parametrize("encoding", ENCODINGS)
+    def test_payload_is_self_describing(self, encoding):
+        """Any column chunk revives via the envelope, scheme unseen."""
+        from repro import codecs
+
+        rng = np.random.default_rng(5)
+        values = np.cumsum(rng.integers(0, 9, 2000)).astype(np.int64)
+        col = EncodedColumn(values, encoding, partition_size=256)
+        revived = codecs.from_bytes(col.payload_bytes())
+        assert np.array_equal(revived.decode_all(), values)
 
     def test_dict_is_small_on_low_cardinality(self):
         rng = np.random.default_rng(2)
