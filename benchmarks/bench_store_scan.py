@@ -1,0 +1,169 @@
+"""Store scan benchmark: cold mmap vs warm cache vs zone-map pruning.
+
+Ingests the sensor telemetry fixture into a ``repro.store`` table, then
+measures three scan regimes over the same projection:
+
+* **full cold** — fresh ``Table``, every chunk read from the mmap;
+* **full warm** — second scan on the same instance, served from the
+  bounded LRU chunk cache (zero bytes read);
+* **selective** — a ~0.5%-selectivity timestamp range, pruned (zone maps
+  skip non-overlapping chunks) vs unpruned (filter pushed into every
+  chunk), cache disabled so both pay honest read costs.
+
+Writes a ``BENCH_store.json`` trajectory with rows/s, bytes actually
+read, and pass/fail checks (pruned == naive answer, pruned reads fewer
+bytes than full, pruned beats unpruned on wall clock)::
+
+    python benchmarks/bench_store_scan.py [--quick] [--json PATH] [--dir D]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.datasets import sensor_fixture
+from repro.store import Table, write_table
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit, headline
+
+FULL_N = 300_000
+QUICK_N = 60_000
+#: selective range covers ~0.5% of the rows
+SELECTIVITY = 0.005
+REPEATS = 5
+
+
+def _measure(fn, repeats: int):
+    """Best-of-``repeats`` wall time for ``fn()`` (returns last result)."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _entry(n_table: int, wall_s: float, stats, rows_out: int) -> dict:
+    return {
+        "wall_ms": wall_s * 1e3,
+        "rows_per_s": n_table / max(wall_s, 1e-9),
+        "rows_out": rows_out,
+        "bytes_read": stats.bytes_read,
+        "bytes_scanned": stats.bytes_scanned,
+        "chunks_pruned": stats.chunks_pruned,
+        "chunks_scanned": stats.chunks_scanned,
+        "cache_hits": stats.cache_hits,
+    }
+
+
+def run(directory: str, n: int, repeats: int = REPEATS) -> dict:
+    columns = sensor_fixture(n, seed=0)
+    write_table(directory, columns, codec="auto",
+                shard_rows=max(n // 8, 1024), chunk_rows=2048,
+                overwrite=True)
+    projection = ["sensor_id", "reading"]
+    ts = columns["ts"]
+    i0 = n // 2
+    i1 = i0 + max(int(n * SELECTIVITY), 1)
+    lo, hi = int(ts[i0]), int(ts[i1])
+    mask = (ts >= lo) & (ts < hi)
+
+    scans = {}
+    with Table.open(directory) as table:
+        cold = table.scan(columns=projection)
+        scans["full_cold"] = _entry(n, cold.stats.wall_s, cold.stats,
+                                    cold.n_rows)
+        warm = table.scan(columns=projection)
+        scans["full_warm"] = _entry(n, warm.stats.wall_s, warm.stats,
+                                    warm.n_rows)
+
+    with Table.open(directory, cache_bytes=0) as table:
+        t_pruned, pruned = _measure(
+            lambda: table.scan(columns=projection, where=("ts", lo, hi)),
+            repeats)
+        t_unpruned, unpruned = _measure(
+            lambda: table.scan(columns=projection, where=("ts", lo, hi),
+                               prune=False), repeats)
+    scans["selective_pruned"] = _entry(n, t_pruned, pruned.stats,
+                                       pruned.n_rows)
+    scans["selective_unpruned"] = _entry(n, t_unpruned, unpruned.stats,
+                                         unpruned.n_rows)
+
+    matches = (
+        np.array_equal(pruned.row_ids, np.flatnonzero(mask))
+        and np.array_equal(pruned.columns["reading"],
+                           columns["reading"][mask])
+        and np.array_equal(pruned.columns["reading"],
+                           unpruned.columns["reading"])
+    )
+    checks = {
+        "pruned_matches_naive": bool(matches),
+        "pruned_reads_fewer_bytes": bool(
+            pruned.stats.bytes_read < scans["full_cold"]["bytes_read"]),
+        "warm_reads_zero_bytes": bool(warm.stats.bytes_read == 0),
+        "pruned_faster_than_unpruned": bool(t_pruned < t_unpruned),
+    }
+
+    rows = [
+        [name,
+         f"{entry['wall_ms']:.2f}",
+         f"{entry['rows_per_s'] / 1e6:.1f}M",
+         f"{entry['rows_out']}",
+         f"{entry['bytes_read']}",
+         f"{entry['chunks_pruned']}/{entry['chunks_scanned']}",
+         f"{entry['cache_hits']}"]
+        for name, entry in scans.items()
+    ]
+    emit(render_table(
+        ["scan", "wall ms", "rows/s", "rows out", "bytes read",
+         "pruned/scanned", "cache hits"], rows))
+    emit("checks: " + ", ".join(f"{k}={v}" for k, v in checks.items()))
+    return {"n": n, "selectivity": SELECTIVITY, "scans": scans,
+            "checks": checks}
+
+
+def render_table(header, rows) -> str:
+    widths = [max(len(str(r[i])) for r in [header] + rows)
+              for i in range(len(header))]
+    lines = ["  ".join(f"{str(c):>{w}}" for c, w in zip(r, widths))
+             for r in [header] + rows]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--json", default="BENCH_store.json")
+    parser.add_argument("--dir", default=None,
+                        help="table directory (default: a temp dir)")
+    args = parser.parse_args(argv)
+    n = QUICK_N if args.quick else FULL_N
+    emit(headline(
+        "Persistent store scan benchmark",
+        f"sensor fixture, n={n}, selective range ~{SELECTIVITY:.1%} "
+        "of rows"))
+    directory = args.dir or tempfile.mkdtemp(prefix="repro_store_bench_")
+    try:
+        payload = run(directory, n)
+    finally:
+        if args.dir is None:
+            shutil.rmtree(directory, ignore_errors=True)
+    with open(args.json, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    emit(f"\nwrote {args.json}")
+    failed = [name for name, ok in payload["checks"].items() if not ok]
+    if failed:  # the CI smoke step must go red, not just record it
+        raise SystemExit(f"store bench checks failed: {', '.join(failed)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -129,6 +129,18 @@ class EncodedSequence(SelfDescribing, ABC):
         values = self.decode_all()
         return (values >= lo) & (values < hi)
 
+    # ------------------------------------------------------------- bounds
+    def model_bounds(self) -> tuple[int, int] | None:
+        """Conservative ``(lo, hi)`` value bounds without decoding, or None.
+
+        Contract: when not ``None``, every encoded value satisfies
+        ``lo <= v <= hi`` — the bounds may be loose but never exclude a
+        stored value (consumers use them to prune, e.g. the store's zone
+        maps).  The base returns ``None`` (no cheap bound); LeCo-family
+        sequences derive bounds from the model band + residual width.
+        """
+        return None
+
     # ------------------------------------------------------------- sizing
     def size_bytes(self) -> int:
         """Serialised payload size in bytes (protocol name)."""

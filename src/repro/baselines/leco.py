@@ -57,6 +57,20 @@ class LecoEncodedSequence(EncodedSequence):
             bitmap[part.start: part.end] = (decoded >= lo) & (decoded < hi)
         return bitmap
 
+    def model_bounds(self) -> tuple[int, int] | None:
+        """Sequence-wide value bounds from the per-partition model bands.
+
+        Aggregates :meth:`CompressedArray.partition_value_bounds` — no
+        delta array is touched, so the store's zone maps come for free.
+        Conservative: never excludes a stored value, may be loose (the
+        residual-width band, and non-monotone regressors widen to a
+        near-int64 sentinel range).
+        """
+        if not self.array.partitions or len(self) == 0:
+            return None
+        bounds = self.array.partition_value_bounds()
+        return int(bounds[:, 0].min()), int(bounds[:, 1].max())
+
     def compressed_size_bytes(self) -> int:
         return self.array.compressed_size_bytes()
 

@@ -16,6 +16,7 @@ from repro.datasets.strings import (
     gen_word,
     load_strings,
 )
+from repro.datasets.store_fixtures import ingest_fixture, sensor_fixture
 from repro.datasets.tabular import TABLE_NAMES, Table, load_table
 
 __all__ = [
@@ -29,6 +30,8 @@ __all__ = [
     "Table",
     "load_table",
     "TABLE_NAMES",
+    "ingest_fixture",
+    "sensor_fixture",
     "load_strings",
     "STRING_DATASETS",
     "gen_email",

@@ -8,6 +8,7 @@ from repro.engine.ops import (
     bitmap_sum,
     filter_to_bitmap,
     groupby_avg,
+    groupby_sum_count,
     zipf_cluster_bitmap,
 )
 from repro.engine.parquet import ColumnChunk, ParquetLikeFile, RowGroup
@@ -28,6 +29,7 @@ __all__ = [
     "bitmap_sum",
     "filter_to_bitmap",
     "groupby_avg",
+    "groupby_sum_count",
     "zipf_cluster_bitmap",
     "ColumnChunk",
     "ParquetLikeFile",

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.baselines.leco import FORCodec, LecoCodec
-from repro.engine.io import IOModel
+from repro.engine.io import IODelta, IOModel
 
 PAGE_BYTES = 4096
 
@@ -56,8 +56,8 @@ def run_hash_probe(probe_values: np.ndarray, method: str,
                    io: IOModel | None = None,
                    seed: int = 5) -> ProbeResult:
     """Filter -> dictionary decode -> hash probe, under a memory budget."""
-    io = io or IOModel()
-    io.reset()
+    delta = IODelta(io or IOModel())
+    io = delta.io
     rng = np.random.default_rng(seed)
     probe_values = np.asarray(probe_values, dtype=np.int64)
 
@@ -83,12 +83,13 @@ def run_hash_probe(probe_values: np.ndarray, method: str,
     hits = sum(1 for v in decoded if int(v) in hash_table)
     cpu = time.perf_counter() - start
 
-    # each non-resident dictionary access is a page miss
+    # each non-resident dictionary access is a page miss, charged onto
+    # the caller's accumulator; the throughput uses this probe's delta
     misses = int(len(probe_codes) * miss_fraction)
     io.bytes_read += misses * PAGE_BYTES
     io.reads += misses
 
-    total = cpu + io.seconds
+    total = cpu + delta.seconds
     raw_bytes = probe_values.nbytes
     return ProbeResult(
         throughput_gbps=raw_bytes / total / 1e9,

@@ -17,12 +17,15 @@ def filter_to_bitmap(column: EncodedColumn, lo: int, hi: int) -> np.ndarray:
     return column.filter_range(lo, hi)
 
 
-def groupby_avg(ids: EncodedColumn, vals: EncodedColumn,
-                bitmap: np.ndarray) -> dict[int, float]:
-    """``SELECT AVG(val) GROUP BY id`` over bitmap-selected rows.
+def groupby_sum_count(ids: EncodedColumn, vals: EncodedColumn,
+                      bitmap: np.ndarray) -> dict[int, tuple[int, int]]:
+    """Per-group ``(sum, count)`` partials over bitmap-selected rows.
 
     Only decodes entries whose bit is set (random access into the encoded
-    arrays — the paper's groupby/aggregation path).
+    arrays — the paper's groupby/aggregation path).  Returning the
+    partials, not the means, is what makes cross-row-group merging exact:
+    averages of unevenly split groups cannot be combined, sums and counts
+    can.
     """
     positions = np.flatnonzero(bitmap)
     if positions.size == 0:
@@ -36,8 +39,15 @@ def groupby_avg(ids: EncodedColumn, vals: EncodedColumn,
         [[0], np.flatnonzero(np.diff(sorted_ids)) + 1])
     sums = np.add.reduceat(sorted_vals, starts)
     counts = np.diff(np.append(starts, sorted_ids.size))
-    return {int(key): float(total) / int(count)
+    return {int(key): (int(total), int(count))
             for key, total, count in zip(sorted_ids[starts], sums, counts)}
+
+
+def groupby_avg(ids: EncodedColumn, vals: EncodedColumn,
+                bitmap: np.ndarray) -> dict[int, float]:
+    """``SELECT AVG(val) GROUP BY id`` over bitmap-selected rows."""
+    return {key: total / count for key, (total, count)
+            in groupby_sum_count(ids, vals, bitmap).items()}
 
 
 def bitmap_sum(vals: EncodedColumn, bitmap: np.ndarray) -> int:

@@ -6,9 +6,16 @@
 
 executed with late materialization: the range filter is pushed down to the
 storage layer producing a bitmap; groupby/aggregation then decode only
-surviving positions.  ``run_bitmap_aggregation`` is §5.1.2's kernel: scan a
-single column, skip row groups whose bitmap region is empty, sum selected
-entries.
+surviving positions.  Per-row-group partials are merged as ``(sum,
+count)`` pairs — never as means, which would be wrong whenever a group's
+rows split unevenly across row groups.  ``run_bitmap_aggregation`` is
+§5.1.2's kernel: scan a single column, skip row groups whose bitmap
+region is empty, sum selected entries.
+
+Both helpers treat a caller-supplied :class:`IOModel` as a running
+accumulator: they charge reads onto it but never reset it, and the
+returned :class:`QueryResult` carries this query's own ``bytes_read`` /
+``reads`` deltas (with ``io_s`` derived from those deltas alone).
 """
 
 from __future__ import annotations
@@ -16,22 +23,24 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.engine.io import IOModel
-from repro.engine.ops import bitmap_sum, filter_to_bitmap, groupby_avg
+from repro.engine.io import IODelta, IOModel
+from repro.engine.ops import bitmap_sum, filter_to_bitmap, groupby_sum_count
 from repro.engine.parquet import ParquetLikeFile
 
 
 @dataclass
 class QueryResult:
-    """Timing breakdown of one query execution."""
+    """Timing + I/O breakdown of one query execution."""
 
     cpu_filter_s: float
     cpu_groupby_s: float
     io_s: float
     rows_selected: int
     answer: object
+    #: bytes/reads charged by THIS query (caller's IOModel keeps its own
+    #: running totals; these are the deltas)
+    bytes_read: int = 0
+    reads: int = 0
 
     @property
     def total_s(self) -> float:
@@ -41,12 +50,12 @@ class QueryResult:
 def run_filter_groupby_query(file: ParquetLikeFile, ts_lo: int, ts_hi: int,
                              io: IOModel | None = None) -> QueryResult:
     """The Fig. 18 query over a (ts, id, val) file."""
-    io = io or IOModel()
-    io.reset()
+    delta = IODelta(io or IOModel())
+    io = delta.io
     cpu_filter = 0.0
     cpu_groupby = 0.0
     selected = 0
-    merged: dict[int, list] = {}
+    merged: dict[int, tuple[int, int]] = {}
 
     for group in file.row_groups:
         ts_col = file.scan_column(group, "ts", io)
@@ -60,21 +69,23 @@ def run_filter_groupby_query(file: ParquetLikeFile, ts_lo: int, ts_hi: int,
         id_col = file.scan_column(group, "id", io)
         val_col = file.scan_column(group, "val", io)
         start = time.perf_counter()
-        partial = groupby_avg(id_col, val_col, bitmap)
+        partial = groupby_sum_count(id_col, val_col, bitmap)
         cpu_groupby += time.perf_counter() - start
-        for key, avg in partial.items():
-            merged.setdefault(key, []).append(avg)
+        for key, (total, count) in partial.items():
+            prev_total, prev_count = merged.get(key, (0, 0))
+            merged[key] = (prev_total + total, prev_count + count)
 
-    answer = {key: float(np.mean(avgs)) for key, avgs in merged.items()}
-    return QueryResult(cpu_filter, cpu_groupby, io.seconds, selected, answer)
+    answer = {key: total / count for key, (total, count) in merged.items()}
+    return QueryResult(cpu_filter, cpu_groupby, delta.seconds, selected,
+                       answer, bytes_read=delta.bytes_read,
+                       reads=delta.reads)
 
 
 def run_bitmap_aggregation(file: ParquetLikeFile, column: str,
-                           bitmap: np.ndarray,
-                           io: IOModel | None = None) -> QueryResult:
+                           bitmap, io: IOModel | None = None) -> QueryResult:
     """The Fig. 19 kernel: bitmap-selected SUM over one column."""
-    io = io or IOModel()
-    io.reset()
+    delta = IODelta(io or IOModel())
+    io = delta.io
     cpu = 0.0
     total = 0
     selected = 0
@@ -87,4 +98,5 @@ def run_bitmap_aggregation(file: ParquetLikeFile, column: str,
         total += bitmap_sum(col, local)
         cpu += time.perf_counter() - start
         selected += int(local.sum())
-    return QueryResult(0.0, cpu, io.seconds, selected, total)
+    return QueryResult(0.0, cpu, delta.seconds, selected, total,
+                       bytes_read=delta.bytes_read, reads=delta.reads)

@@ -1,0 +1,45 @@
+"""``repro.store`` — persistent sharded columnar table store (§5.1 on disk).
+
+The reproduction's first real persistence layer: a table is a directory of
+row-group *shard* files, each a sequence of codec-registry envelopes plus
+a footer catalog carrying schema, codec ids, row counts, and per-chunk
+zone maps.  Reads go through ``mmap``; scans prune whole chunks on zone
+maps, push range predicates into the codecs' vectorised paths, gather
+projected columns late, run shards concurrently on a thread pool, and
+keep revived chunks in a bounded LRU cache::
+
+    from repro.store import Table, write_table
+
+    write_table("t", {"ts": ts, "id": ids, "val": vals}, codec="auto")
+    with Table.open("t") as table:
+        res = table.scan(columns=["id", "val"], where=("ts", lo, hi))
+        res.columns["val"], res.row_ids, res.stats.bytes_read
+
+``python -m repro.store`` exposes ``ingest`` / ``scan`` / ``info``.
+"""
+
+from repro.store.cache import ChunkCache
+from repro.store.executor import ScanResult, ScanStats
+from repro.store.format import ChunkMeta, Manifest, ShardFooter
+from repro.store.table import Shard, Table
+from repro.store.writer import (
+    DEFAULT_CHUNK_ROWS,
+    DEFAULT_SHARD_ROWS,
+    TableWriter,
+    write_table,
+)
+
+__all__ = [
+    "ChunkCache",
+    "ChunkMeta",
+    "DEFAULT_CHUNK_ROWS",
+    "DEFAULT_SHARD_ROWS",
+    "Manifest",
+    "ScanResult",
+    "ScanStats",
+    "Shard",
+    "ShardFooter",
+    "Table",
+    "TableWriter",
+    "write_table",
+]

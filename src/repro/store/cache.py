@@ -1,0 +1,74 @@
+"""Bounded, thread-safe LRU cache for decoded column chunks.
+
+Scan workers revive each surviving chunk from its envelope bytes
+(``codecs.from_bytes``) before filtering/gathering; the cache keeps those
+revived sequences across scans so warm queries skip the mmap read and the
+envelope parse entirely.  Capacity is bounded in *stored chunk bytes* (the
+honest proxy for the decoded footprint of the lightweight codecs), entries
+are evicted least-recently-used, and all operations are lock-protected so
+the thread-pool executor can share one cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+#: default cache budget: 64 MiB of stored chunk bytes
+DEFAULT_CAPACITY_BYTES = 64 << 20
+
+
+class ChunkCache:
+    """LRU map from chunk key to revived sequence, bounded in bytes."""
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY_BYTES):
+        if capacity_bytes < 0:
+            raise ValueError(f"negative capacity {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
+        self._used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        with self._lock:
+            return self._used_bytes
+
+    def get_or_load(self, key: Hashable, loader: Callable[[], Any],
+                    nbytes: int) -> tuple[Any, bool]:
+        """Return ``(value, was_hit)``; ``loader`` runs outside the lock.
+
+        Two threads racing on the same absent key may both load; the second
+        insert wins harmlessly (values are immutable revived sequences).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry[0], True
+            self.misses += 1
+        value = loader()
+        with self._lock:
+            if key not in self._entries:
+                self._entries[key] = (value, nbytes)
+                self._used_bytes += nbytes
+                self._evict_locked()
+        return value, False
+
+    def _evict_locked(self) -> None:
+        while self._used_bytes > self.capacity_bytes and len(self._entries) > 1:
+            _, (_, dropped) = self._entries.popitem(last=False)
+            self._used_bytes -= dropped
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._used_bytes = 0

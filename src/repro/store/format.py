@@ -1,0 +1,169 @@
+"""On-disk layout of the persistent table store (shards + footer catalog).
+
+A table is a directory: a ``_table.json`` manifest naming the schema and
+the shard files, plus one ``shard-NNNNN.rps`` file per row-group shard::
+
+    table_dir/
+      _table.json          manifest: schema, shard list, writer geometry
+      shard-00000.rps
+      shard-00001.rps
+
+Each shard file is self-describing — concatenated codec envelopes
+(:mod:`repro.codecs.envelope`, so any chunk revives via
+``codecs.from_bytes``) followed by a footer catalog::
+
+    +------+-----+----------------------+-------------+------------+------+
+    | RPSH | ver | chunk envelopes      | footer JSON | footer len | RPSF |
+    | 4 B  | 1 B | RPRC... RPRC... ...  | utf-8       | 8 B LE     | 4 B  |
+    +------+-----+----------------------+-------------+------------+------+
+
+The footer carries, per column chunk: byte extent, row extent, the codec
+that encoded it, and its **zone map** — conservative ``[zmin, zmax]``
+value bounds taken from the codec's ``model_bounds()`` where exposed
+(LeCo's model + residual-width band) and computed from the raw values
+otherwise.  Readers parse the footer from the end of the file, so a scan
+never touches chunk bytes the zone maps prune.  Everything malformed
+raises :class:`ValueError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+
+#: shard file leading magic
+SHARD_MAGIC = b"RPSH"
+#: shard file trailing magic (after the footer length)
+FOOTER_MAGIC = b"RPSF"
+#: current shard layout version
+VERSION = 1
+#: manifest file name inside a table directory
+MANIFEST_NAME = "_table.json"
+#: manifest format identifier
+MANIFEST_FORMAT = "repro.store"
+
+#: leading header: magic + version byte
+HEADER_LEN = len(SHARD_MAGIC) + 1
+#: trailing bytes after the footer: 8-byte LE length + magic
+TRAILER_LEN = 8 + len(FOOTER_MAGIC)
+
+
+@dataclass(frozen=True)
+class ChunkMeta:
+    """Catalog entry for one encoded column chunk inside a shard."""
+
+    column: str
+    row_start: int        # first row, local to the shard
+    n_rows: int
+    offset: int           # byte offset of the envelope inside the file
+    nbytes: int           # envelope length in bytes
+    codec: str            # registry name that encoded the chunk
+    zmin: int             # zone map: conservative minimum value
+    zmax: int             # zone map: conservative maximum value
+    bounds: str           # "model" (codec-derived) or "computed"
+
+
+@dataclass(frozen=True)
+class ShardFooter:
+    """Parsed footer catalog of one shard file."""
+
+    row_start: int        # first row, global to the table
+    n_rows: int
+    chunks: tuple[ChunkMeta, ...]
+
+    def column_chunks(self, column: str) -> tuple[ChunkMeta, ...]:
+        return tuple(c for c in self.chunks if c.column == column)
+
+
+def pack_footer(footer: ShardFooter) -> bytes:
+    """Serialise the footer catalog + trailer (appended after the chunks)."""
+    doc = {
+        "version": VERSION,
+        "row_start": footer.row_start,
+        "n_rows": footer.n_rows,
+        "chunks": [asdict(c) for c in footer.chunks],
+    }
+    body = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    return body + len(body).to_bytes(8, "little") + FOOTER_MAGIC
+
+
+def unpack_footer(blob: bytes) -> ShardFooter:
+    """Parse a whole shard image's footer (header is validated too)."""
+    if len(blob) < HEADER_LEN + TRAILER_LEN:
+        raise ValueError(
+            f"truncated shard: {len(blob)} bytes is shorter than the "
+            f"{HEADER_LEN + TRAILER_LEN}-byte minimum")
+    if blob[:4] != SHARD_MAGIC:
+        raise ValueError(
+            f"not a repro store shard (magic {bytes(blob[:4])!r}, "
+            f"expected {SHARD_MAGIC!r})")
+    if blob[4] > VERSION:
+        raise ValueError(f"unsupported shard version {blob[4]}")
+    if blob[-4:] != FOOTER_MAGIC:
+        raise ValueError("shard trailer magic missing (truncated file?)")
+    body_len = int.from_bytes(blob[-TRAILER_LEN:-4], "little")
+    body_end = len(blob) - TRAILER_LEN
+    if body_len > body_end - HEADER_LEN:
+        raise ValueError(
+            f"footer declares {body_len} bytes, shard too short")
+    try:
+        doc = json.loads(bytes(blob[body_end - body_len: body_end]))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"corrupt shard footer: {exc}") from None
+    chunks = tuple(ChunkMeta(**c) for c in doc["chunks"])
+    return ShardFooter(row_start=doc["row_start"], n_rows=doc["n_rows"],
+                       chunks=chunks)
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """The table-level catalog (``_table.json``)."""
+
+    columns: tuple[str, ...]
+    n_rows: int
+    shard_rows: int
+    chunk_rows: int
+    codecs: dict[str, str] = field(default_factory=dict)  # requested, per col
+    shards: tuple[dict, ...] = ()  # {"file", "row_start", "n_rows"}
+
+
+def shard_file_name(index: int) -> str:
+    return f"shard-{index:05d}.rps"
+
+
+def write_manifest(directory: str, manifest: Manifest) -> None:
+    doc = {
+        "format": MANIFEST_FORMAT,
+        "version": VERSION,
+        "columns": list(manifest.columns),
+        "n_rows": manifest.n_rows,
+        "shard_rows": manifest.shard_rows,
+        "chunk_rows": manifest.chunk_rows,
+        "codecs": dict(manifest.codecs),
+        "shards": list(manifest.shards),
+    }
+    path = os.path.join(directory, MANIFEST_NAME)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+
+
+def read_manifest(directory: str) -> Manifest:
+    path = os.path.join(directory, MANIFEST_NAME)
+    if not os.path.exists(path):
+        raise ValueError(f"{directory!r} is not a store table "
+                         f"(missing {MANIFEST_NAME})")
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("format") != MANIFEST_FORMAT:
+        raise ValueError(f"foreign manifest format {doc.get('format')!r}")
+    if doc.get("version", 0) > VERSION:
+        raise ValueError(f"unsupported manifest version {doc.get('version')}")
+    return Manifest(
+        columns=tuple(doc["columns"]),
+        n_rows=doc["n_rows"],
+        shard_rows=doc["shard_rows"],
+        chunk_rows=doc["chunk_rows"],
+        codecs=dict(doc.get("codecs", {})),
+        shards=tuple(doc.get("shards", ())),
+    )

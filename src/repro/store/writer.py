@@ -1,0 +1,302 @@
+"""``TableWriter`` — ingest columns into a persistent sharded table.
+
+The writer buffers appended batches, partitions them into row-group
+*shards* of ``shard_rows`` rows, and within each shard slices every column
+into aligned *chunks* of ``chunk_rows`` rows.  Each chunk is encoded
+through the codec registry and written as a self-describing envelope, so
+the reader revives it with :func:`repro.codecs.from_bytes` without store-
+side per-codec knowledge.
+
+Codec selection is :class:`~repro.codecs.CodecSpec`-driven and per
+column: pass one spec/name for every column, or a mapping, or ``"auto"``
+— the writer then trial-encodes each chunk with the lightweight
+candidates and keeps the smallest envelope (the store-level analogue of
+the engine's encoding choice).
+
+Zone maps follow one rule, uniformly: if the encoded sequence exposes
+``model_bounds()`` (LeCo's model + residual-width band, no decode), the
+footer stores those; otherwise the writer computes exact min/max from the
+raw values it is holding anyway.  New codecs therefore get zone maps with
+zero store-side special-casing.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro import codecs
+from repro.codecs.spec import CodecSpec
+from repro.store.format import (
+    SHARD_MAGIC,
+    VERSION,
+    ChunkMeta,
+    Manifest,
+    ShardFooter,
+    pack_footer,
+    read_manifest,
+    shard_file_name,
+    write_manifest,
+)
+
+#: default shard (row group) size in rows
+DEFAULT_SHARD_ROWS = 1 << 16
+#: default chunk size in rows (aligned across all columns of a shard)
+DEFAULT_CHUNK_ROWS = 1 << 12
+#: trial candidates for ``codec="auto"`` (smallest envelope wins)
+AUTO_CANDIDATES = ("leco", "dict", "plain")
+
+
+def _partition_rows(chunk_rows: int) -> int:
+    """LeCo/delta partition length used inside one chunk."""
+    return max(min(1024, chunk_rows), 16)
+
+
+def _build_codec(spec, chunk_rows: int):
+    """Construct one registry codec from a name or a :class:`CodecSpec`."""
+    if isinstance(spec, CodecSpec):
+        if spec.codec.startswith("leco"):
+            return codecs.get(spec.codec, spec=spec)
+        return codecs.get(spec.codec)
+    name = str(spec)
+    part = _partition_rows(chunk_rows)
+    if name in ("leco", "leco-fix", "leco-var", "leco-auto"):
+        if name == "leco":
+            return codecs.get("leco", partitioner=part)
+        return codecs.get(name, max_partition_size=part)
+    if name == "delta":
+        return codecs.get("delta", partition_size=part)
+    if name == "for":
+        return codecs.get("for", frame_size=part)
+    return codecs.get(name)
+
+
+class TableWriter:
+    """Streaming writer for one table directory.
+
+    Usage::
+
+        with TableWriter(path, codec="auto") as w:
+            w.append({"ts": ts_batch, "val": val_batch})
+        # or the one-shot convenience:
+        write_table(path, {"ts": ts, "val": val})
+
+    ``codec`` is a registry name, a :class:`CodecSpec`, ``"auto"``, or a
+    per-column mapping of any of those.
+    """
+
+    def __init__(self, path: str, codec="auto",
+                 shard_rows: int = DEFAULT_SHARD_ROWS,
+                 chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                 overwrite: bool = False):
+        if shard_rows <= 0 or chunk_rows <= 0:
+            raise ValueError("shard_rows and chunk_rows must be positive")
+        if chunk_rows > shard_rows:
+            chunk_rows = shard_rows
+        self.path = path
+        self.codec = codec
+        self.shard_rows = shard_rows
+        self.chunk_rows = chunk_rows
+        os.makedirs(path, exist_ok=True)
+        try:
+            read_manifest(path)
+        except ValueError:
+            pass
+        else:
+            if not overwrite:
+                raise ValueError(
+                    f"{path!r} already holds a store table "
+                    "(pass overwrite=True to replace it)")
+        # leftovers of a writer that crashed mid-write are never data
+        for stale in os.listdir(path):
+            if stale.endswith(".rps.tmp"):
+                os.remove(os.path.join(path, stale))
+        self._schema: tuple[str, ...] | None = None
+        self._buffer: dict[str, list[np.ndarray]] = {}
+        self._buffered = 0
+        self._rows_written = 0
+        self._shards: list[dict] = []
+        self._codec_cache: dict[object, object] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------- ingest
+    def append(self, batch: dict[str, np.ndarray]) -> None:
+        """Buffer one batch of equal-length integer columns.
+
+        The whole batch is validated and converted before any column is
+        committed to the buffer: a rejected batch leaves the writer
+        exactly as it was (no partial, misaligned state).
+        """
+        if self._closed:
+            raise ValueError("writer is closed")
+        if not batch:
+            raise ValueError("empty batch")
+        if self._schema is not None and tuple(batch) != self._schema:
+            raise ValueError(
+                f"batch columns {tuple(batch)} do not match the schema "
+                f"{self._schema}")
+        staged: dict[str, np.ndarray] = {}
+        n = None
+        for name, col in batch.items():
+            col = np.asarray(col)
+            if col.dtype.kind not in "iu":
+                raise TypeError(
+                    f"column {name!r}: integer input required, "
+                    f"got {col.dtype}")
+            if col.dtype.kind == "u" and col.size and \
+                    int(col.max()) > np.iinfo(np.int64).max:
+                raise ValueError(
+                    f"column {name!r}: value {int(col.max())} exceeds the "
+                    "int64 range the store encodes")
+            col = col.astype(np.int64)
+            if n is None:
+                n = len(col)
+            elif len(col) != n:
+                raise ValueError(f"column {name!r} length mismatch")
+            staged[name] = col
+        if self._schema is None:
+            self._schema = tuple(staged)
+            self._buffer = {name: [] for name in self._schema}
+        for name, col in staged.items():
+            self._buffer[name].append(col)
+        self._buffered += n
+        while self._buffered >= self.shard_rows:
+            self._flush_shard(self.shard_rows)
+
+    def close(self) -> None:
+        """Publish the table: finalise shards, then write the manifest.
+
+        Shards are staged as ``.rps.tmp`` files and only renamed into
+        place here, so a writer that fails before ``close`` (the context
+        manager skips it on exceptions) leaves a pre-existing table — and
+        its still-valid manifest — untouched.
+        """
+        if self._closed:
+            return
+        if self._buffered:
+            self._flush_shard(self._buffered)
+        if self._schema is None:
+            raise ValueError("cannot close a writer that ingested no rows")
+        live = {entry["file"] for entry in self._shards}
+        for entry in self._shards:
+            final = os.path.join(self.path, entry["file"])
+            os.replace(final + ".tmp", final)
+        for name in os.listdir(self.path):
+            if name.endswith(".rps") and name not in live:
+                os.remove(os.path.join(self.path, name))
+        write_manifest(self.path, Manifest(
+            columns=self._schema,
+            n_rows=self._rows_written,
+            shard_rows=self.shard_rows,
+            chunk_rows=self.chunk_rows,
+            codecs={name: self._codec_label(name) for name in self._schema},
+            shards=tuple(self._shards),
+        ))
+        self._closed = True
+
+    def __enter__(self) -> "TableWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+
+    # ----------------------------------------------------------- encoding
+    def _codec_spec_for(self, column: str):
+        if isinstance(self.codec, dict):
+            try:
+                return self.codec[column]
+            except KeyError:
+                raise ValueError(
+                    f"no codec configured for column {column!r}") from None
+        return self.codec
+
+    def _codec_label(self, column: str) -> str:
+        spec = self._codec_spec_for(column)
+        if isinstance(spec, CodecSpec):
+            return spec.codec
+        return str(spec)
+
+    def _encode_chunk(self, column: str, values: np.ndarray
+                      ) -> tuple[bytes, str, int, int, str]:
+        """Encode one chunk; returns (envelope, codec, zmin, zmax, source)."""
+        spec = self._codec_spec_for(column)
+        if isinstance(spec, str) and spec == "auto":
+            best = None
+            for name in AUTO_CANDIDATES:
+                seq = self._cached_codec(name).encode(values)
+                blob = seq.to_bytes()
+                if best is None or len(blob) < len(best[0]):
+                    best = (blob, name, seq)
+            blob, name, seq = best
+        else:
+            name = self._codec_label(column)
+            seq = self._cached_codec(spec).encode(values)
+            blob = seq.to_bytes()
+        bounds = seq.model_bounds()
+        if bounds is not None:
+            zmin, zmax, source = int(bounds[0]), int(bounds[1]), "model"
+        else:
+            zmin, zmax, source = int(values.min()), int(values.max()), \
+                "computed"
+        return blob, name, zmin, zmax, source
+
+    def _cached_codec(self, spec):
+        """One constructed codec per distinct name/spec (not per name:
+        two columns may share a codec name with different CodecSpecs)."""
+        try:
+            cached = self._codec_cache.get(spec)
+        except TypeError:  # spec carries an unhashable selector: no cache
+            return _build_codec(spec, self.chunk_rows)
+        if cached is None:
+            cached = self._codec_cache[spec] = _build_codec(spec,
+                                                            self.chunk_rows)
+        return cached
+
+    # ------------------------------------------------------------ shards
+    def _take_rows(self, n: int) -> dict[str, np.ndarray]:
+        out = {}
+        for name in self._schema:
+            col = (self._buffer[name][0] if len(self._buffer[name]) == 1
+                   else np.concatenate(self._buffer[name]))
+            out[name] = col[:n]
+            self._buffer[name] = [col[n:]] if n < len(col) else []
+        self._buffered -= n
+        return out
+
+    def _flush_shard(self, n_rows: int) -> None:
+        columns = self._take_rows(n_rows)
+        out = bytearray(SHARD_MAGIC)
+        out.append(VERSION)
+        chunks: list[ChunkMeta] = []
+        for name in self._schema:
+            col = columns[name]
+            for start in range(0, n_rows, self.chunk_rows):
+                seg = col[start: start + self.chunk_rows]
+                blob, codec_name, zmin, zmax, src = \
+                    self._encode_chunk(name, seg)
+                chunks.append(ChunkMeta(
+                    column=name, row_start=start, n_rows=len(seg),
+                    offset=len(out), nbytes=len(blob), codec=codec_name,
+                    zmin=zmin, zmax=zmax, bounds=src))
+                out += blob
+        out += pack_footer(ShardFooter(
+            row_start=self._rows_written, n_rows=n_rows,
+            chunks=tuple(chunks)))
+        fname = shard_file_name(len(self._shards))
+        with open(os.path.join(self.path, fname + ".tmp"), "wb") as fh:
+            fh.write(out)
+        self._shards.append({"file": fname, "row_start": self._rows_written,
+                             "n_rows": n_rows})
+        self._rows_written += n_rows
+
+
+def write_table(path: str, columns: dict[str, np.ndarray], codec="auto",
+                shard_rows: int = DEFAULT_SHARD_ROWS,
+                chunk_rows: int = DEFAULT_CHUNK_ROWS,
+                overwrite: bool = False) -> None:
+    """One-shot ingest of a full in-memory column dict."""
+    with TableWriter(path, codec=codec, shard_rows=shard_rows,
+                     chunk_rows=chunk_rows, overwrite=overwrite) as writer:
+        writer.append(columns)

@@ -194,6 +194,57 @@ class TestQueries:
         assert result.rows_selected == 0
         assert result.answer == {}
 
+    def test_avg_merges_exactly_across_row_groups(self):
+        # group 7 straddles the row-group boundary unevenly (3 rows, then
+        # 1): merging per-group averages as a mean-of-means would report
+        # (30 + 110) / 2 = 70, the exact answer is 200 / 4 = 50
+        table = {
+            "ts": np.arange(8, dtype=np.int64),
+            "id": np.array([7, 7, 7, 1, 7, 1, 1, 1], dtype=np.int64),
+            "val": np.array([10, 20, 60, 5, 110, 7, 9, 11],
+                            dtype=np.int64),
+        }
+        file = ParquetLikeFile.write(table, "plain", row_group_size=4)
+        result = run_filter_groupby_query(file, 0, 8)
+        assert result.answer[7] == pytest.approx(50.0)
+        assert result.answer[1] == pytest.approx(8.0)
+
+    def test_filter_groupby_leaves_callers_io_model_untouched(self):
+        table, file = self._file("leco")
+        ts = table["ts"]
+        io = IOModel()
+        io.charge(12_345)  # the caller's running totals must survive
+        result = run_filter_groupby_query(file, int(ts[1000]),
+                                          int(ts[2500]), io)
+        assert result.bytes_read > 0
+        assert io.bytes_read == 12_345 + result.bytes_read
+        assert io.reads == 1 + result.reads
+        # io_s reflects only this query's deltas, not the prior charge
+        expected = (result.bytes_read / io.bandwidth_bytes_per_s
+                    + result.reads * io.latency_s)
+        assert result.io_s == pytest.approx(expected)
+
+    def test_hash_probe_accumulates_io_deltas(self):
+        rng = np.random.default_rng(6)
+        probe = rng.integers(0, 5000, 20_000).astype(np.int64)
+        io = IOModel()
+        io.charge(777)  # survives: run_hash_probe no longer resets
+        result = run_hash_probe(probe, "raw", memory_budget_bytes=1 << 12,
+                                hash_table_bytes=1 << 11, io=io)
+        assert result.miss_fraction > 0
+        assert io.bytes_read > 777
+        assert io.reads >= 1
+
+    def test_bitmap_aggregation_accumulates_io_deltas(self):
+        table, file = self._file("leco")
+        bitmap = zipf_cluster_bitmap(len(table["ts"]), 0.02, seed=4)
+        io = IOModel()
+        first = run_bitmap_aggregation(file, "val", bitmap, io)
+        second = run_bitmap_aggregation(file, "val", bitmap, io)
+        assert first.bytes_read == second.bytes_read > 0
+        assert io.bytes_read == first.bytes_read + second.bytes_read
+        assert first.io_s == pytest.approx(second.io_s)
+
     @pytest.mark.parametrize("encoding", ["dict", "delta", "leco"])
     def test_bitmap_aggregation_matches_reference(self, encoding):
         table, file = self._file(encoding)
