@@ -1,7 +1,9 @@
 """Store scan benchmark: cold mmap vs warm cache vs zone-map pruning.
 
 Ingests the sensor telemetry fixture into a ``repro.store`` table, then
-measures three scan regimes over the same projection:
+measures three scan regimes over the same projection — all executed as
+:class:`repro.exec.Plan` objects over a ``StoreSource`` (the unified
+execution layer the store CLI and the engine helpers share):
 
 * **full cold** — fresh ``Table``, every chunk read from the mmap;
 * **full warm** — second scan on the same instance, served from the
@@ -29,7 +31,9 @@ import time
 import numpy as np
 
 from repro.datasets import sensor_fixture
+from repro.exec import Plan, Range
 from repro.store import Table, write_table
+from repro.store.executor import StoreSource
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 from _common import emit, headline
@@ -58,7 +62,7 @@ def _entry(n_table: int, wall_s: float, stats, rows_out: int) -> dict:
         "rows_out": rows_out,
         "bytes_read": stats.bytes_read,
         "bytes_scanned": stats.bytes_scanned,
-        "chunks_pruned": stats.chunks_pruned,
+        "chunks_pruned": stats.granules_pruned,
         "chunks_scanned": stats.chunks_scanned,
         "cache_hits": stats.cache_hits,
     }
@@ -76,22 +80,25 @@ def run(directory: str, n: int, repeats: int = REPEATS) -> dict:
     lo, hi = int(ts[i0]), int(ts[i1])
     mask = (ts >= lo) & (ts < hi)
 
+    full_plan = Plan.scan(projection)
+    selective_plan = Plan.scan(projection).where(Range("ts", lo, hi))
+
     scans = {}
     with Table.open(directory) as table:
-        cold = table.scan(columns=projection)
+        source = StoreSource(table)
+        cold = full_plan.execute(source)
         scans["full_cold"] = _entry(n, cold.stats.wall_s, cold.stats,
                                     cold.n_rows)
-        warm = table.scan(columns=projection)
+        warm = full_plan.execute(source)
         scans["full_warm"] = _entry(n, warm.stats.wall_s, warm.stats,
                                     warm.n_rows)
 
     with Table.open(directory, cache_bytes=0) as table:
+        source = StoreSource(table)
         t_pruned, pruned = _measure(
-            lambda: table.scan(columns=projection, where=("ts", lo, hi)),
-            repeats)
+            lambda: selective_plan.execute(source), repeats)
         t_unpruned, unpruned = _measure(
-            lambda: table.scan(columns=projection, where=("ts", lo, hi),
-                               prune=False), repeats)
+            lambda: selective_plan.execute(source, prune=False), repeats)
     scans["selective_pruned"] = _entry(n, t_pruned, pruned.stats,
                                        pruned.n_rows)
     scans["selective_unpruned"] = _entry(n, t_unpruned, unpruned.stats,

@@ -14,6 +14,8 @@ Public surface:
 * :class:`repro.StringCompressor` — varchar columns (§3.4);
 * :mod:`repro.baselines` — FOR, RLE, Delta, Elias-Fano, rANS, FSST;
 * :mod:`repro.engine` — Arrow/Parquet-like columnar engine (§5.1);
+* :mod:`repro.exec` — the unified planner/operator layer (plans run
+  unchanged over the engine, the store, or in-memory arrays);
 * :mod:`repro.kvstore` — RocksDB-like LSM store (§5.2);
 * :mod:`repro.datasets` — every dataset family from the evaluation.
 """

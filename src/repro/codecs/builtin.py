@@ -60,31 +60,36 @@ def _make_leco(mode: str | None, spec: CodecSpec | None = None, *,
 
 
 @register("leco", summary="learned compression, fixed partitions (§3)",
-          supports_range_pruning=True, wire_id="leco")
+          supports_range_pruning=True, supports_model_bounds=True,
+          wire_id="leco")
 def _leco(spec=None, *, mode=None, **kwargs):
     return _make_leco(mode, spec, **kwargs)
 
 
 @register("leco-fix", summary="LeCo with sampled fixed-length partitions",
-          supports_range_pruning=True, wire_id="leco")
+          supports_range_pruning=True, supports_model_bounds=True,
+          wire_id="leco")
 def _leco_fix(spec=None, **kwargs):
     return _make_leco("fix", spec, **kwargs)
 
 
 @register("leco-var", summary="LeCo with split-merge variable partitions",
-          supports_range_pruning=True, wire_id="leco")
+          supports_range_pruning=True, supports_model_bounds=True,
+          wire_id="leco")
 def _leco_var(spec=None, **kwargs):
     return _make_leco("var", spec, **kwargs)
 
 
 @register("leco-auto", summary="LeCo with hardness-advised partitioning",
-          supports_range_pruning=True, wire_id="leco")
+          supports_range_pruning=True, supports_model_bounds=True,
+          wire_id="leco")
 def _leco_auto(spec=None, **kwargs):
     return _make_leco("auto", spec, **kwargs)
 
 
 @register("for", summary="frame-of-reference (constant-model LeCo, §2)",
-          supports_range_pruning=True, wire_id="leco")
+          supports_range_pruning=True, supports_model_bounds=True,
+          wire_id="leco")
 def _for(**kwargs):
     from repro.baselines.leco import FORCodec
 

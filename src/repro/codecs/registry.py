@@ -39,6 +39,12 @@ class CodecInfo:
     supports_strings: bool = False
     #: ``filter_range`` can prune whole partitions without decoding
     supports_range_pruning: bool = False
+    #: ``model_bounds()`` returns conservative value bounds without
+    #: decoding (LeCo family: model band + residual width).  The store
+    #: writer and the exec planner both read this flag — codecs without
+    #: it get computed zone maps from the writer and no model-derived
+    #: pruning bounds from in-memory sources.
+    supports_model_bounds: bool = False
     #: input must be non-decreasing (e.g. Elias-Fano)
     requires_sorted: bool = False
     #: envelope codec id its sequences serialise under

@@ -11,7 +11,12 @@ from repro.engine.ops import (
     groupby_sum_count,
     zipf_cluster_bitmap,
 )
-from repro.engine.parquet import ColumnChunk, ParquetLikeFile, RowGroup
+from repro.engine.parquet import (
+    ColumnChunk,
+    ParquetLikeFile,
+    ParquetSource,
+    RowGroup,
+)
 from repro.engine.queries import (
     QueryResult,
     run_bitmap_aggregation,
@@ -33,6 +38,7 @@ __all__ = [
     "zipf_cluster_bitmap",
     "ColumnChunk",
     "ParquetLikeFile",
+    "ParquetSource",
     "RowGroup",
     "QueryResult",
     "run_bitmap_aggregation",

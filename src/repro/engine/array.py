@@ -86,6 +86,10 @@ class EncodedColumn:
         """Decode selected positions (bitmap-driven late materialization)."""
         return self._seq.gather(np.asarray(positions, dtype=np.int64))
 
+    def gather(self, positions: np.ndarray) -> np.ndarray:
+        """Protocol alias of :meth:`take` (the exec layer's spelling)."""
+        return self.take(positions)
+
     def filter_range(self, lo: int, hi: int) -> np.ndarray:
         """Positions with ``lo <= v < hi`` as a boolean bitmap.
 

@@ -7,17 +7,24 @@ of the dictionary fits; dictionary accesses that fall outside the resident
 fraction are charged as buffer-pool misses (one page read each).  When LeCo
 shrinks the dictionary below the leftover budget the misses vanish — the
 paper's up-to-95.7x cliff.
+
+Since PR 4 the probe pipeline is a plan over :mod:`repro.exec`: the
+dictionary-encoded column becomes an in-memory
+:class:`~repro.exec.source.ArraySource` column, the random filter is a
+positional :class:`~repro.exec.Bitmap` term, and the probe itself is the
+executor's semi :class:`~repro.exec.plan.HashJoin` operator — the same
+operator any backend's plans use.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.baselines.leco import FORCodec, LecoCodec
 from repro.engine.io import IODelta, IOModel
+from repro.exec import ArraySource, Bitmap, Plan
 
 PAGE_BYTES = 4096
 
@@ -48,6 +55,34 @@ def _encode_dictionary(uniques: np.ndarray, method: str):
     return decode, seq.compressed_size_bytes()
 
 
+class _DictionaryColumn:
+    """The probe column as seen through its compressed dictionary.
+
+    Speaks the slice of the sequence protocol the executor needs:
+    every access decodes dictionary codes through ``decode`` (so the
+    exec layer's gather is exactly the paper's filter → dictionary
+    decode stage).
+    """
+
+    def __init__(self, decode, codes: np.ndarray):
+        self._decode = decode
+        self._codes = codes
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def decode_all(self) -> np.ndarray:
+        return np.asarray(self._decode(self._codes), dtype=np.int64)
+
+    def gather(self, positions: np.ndarray) -> np.ndarray:
+        codes = self._codes[np.asarray(positions, dtype=np.int64)]
+        return np.asarray(self._decode(codes), dtype=np.int64)
+
+    def filter_range(self, lo: int, hi: int) -> np.ndarray:
+        values = self.decode_all()
+        return (values >= lo) & (values < hi)
+
+
 def run_hash_probe(probe_values: np.ndarray, method: str,
                    memory_budget_bytes: int,
                    hash_table_bytes: int,
@@ -67,7 +102,6 @@ def run_hash_probe(probe_values: np.ndarray, method: str,
     # hash table keyed on `hit_ratio` of the unique values
     build_keys = rng.choice(uniques, size=max(int(len(uniques) * hit_ratio),
                                               1), replace=False)
-    hash_table = set(int(k) for k in build_keys)
 
     # what fraction of the dictionary stays resident under the budget?
     leftover = max(memory_budget_bytes - hash_table_bytes, 0)
@@ -76,24 +110,27 @@ def run_hash_probe(probe_values: np.ndarray, method: str,
 
     n = len(probe_values)
     selected = rng.random(n) < filter_selectivity
-    probe_codes = codes[selected]
 
-    start = time.perf_counter()
-    decoded = decode(probe_codes)
-    hits = sum(1 for v in decoded if int(v) in hash_table)
-    cpu = time.perf_counter() - start
+    source = ArraySource({"probe": _DictionaryColumn(decode, codes)},
+                         name=f"dict-probe[{method}]")
+    plan = (Plan.scan(["probe"])
+            .where(Bitmap(selected))
+            .join(on="probe", keys=build_keys, how="semi"))
+    res = plan.execute(source)
 
     # each non-resident dictionary access is a page miss, charged onto
     # the caller's accumulator; the throughput uses this probe's delta
-    misses = int(len(probe_codes) * miss_fraction)
+    misses = int(res.stats.rows_scanned * miss_fraction)
     io.bytes_read += misses * PAGE_BYTES
     io.reads += misses
 
+    cpu = (res.stats.cpu_filter_s + res.stats.cpu_gather_s
+           + res.stats.cpu_join_s)
     total = cpu + delta.seconds
     raw_bytes = probe_values.nbytes
     return ProbeResult(
         throughput_gbps=raw_bytes / total / 1e9,
         dictionary_bytes=dict_bytes,
         miss_fraction=miss_fraction,
-        hits=hits,
+        hits=res.n_rows,
     )

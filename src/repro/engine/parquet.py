@@ -13,9 +13,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import codecs
 from repro.engine.array import EncodedColumn
 from repro.engine.blockzstd import block_compress, block_decompress
 from repro.engine.io import IOModel
+from repro.exec.source import ColumnSource, Granule
 
 
 @dataclass
@@ -128,3 +130,70 @@ class ParquetLikeFile:
             # real CPU cost of undoing the block compression
             block_decompress(chunk.compressed_payload)
         return chunk.column
+
+
+class ParquetSource(ColumnSource):
+    """:class:`~repro.exec.source.ColumnSource` over a ParquetLikeFile.
+
+    Granules are row groups.  Zone maps come from the encoded
+    sequences' ``model_bounds()`` — consulted only for codecs whose
+    registry entry sets ``supports_model_bounds`` (the LeCo family), so
+    the planner reads the same capability flag as the store writer.
+    Loads charge the supplied :class:`IOModel` exactly like
+    :meth:`ParquetLikeFile.scan_column`; the model's running totals are
+    an unlocked accumulator, so the source reports
+    ``parallel_safe=False`` and the executor stays on one thread.
+    """
+
+    parallel_safe = False
+
+    def __init__(self, file: ParquetLikeFile, io: IOModel | None = None):
+        self.file = file
+        self.io = io
+        self._granules = tuple(
+            Granule(i, group.start, group.n_rows)
+            for i, group in enumerate(file.row_groups))
+        self._bounds: dict[tuple[int, str], tuple | None] = {}
+
+    @property
+    def column_names(self) -> tuple:
+        if not self.file.row_groups:
+            return ()
+        return tuple(self.file.row_groups[0].chunks)
+
+    @property
+    def n_rows(self) -> int:
+        return self.file.n_rows
+
+    def granules(self) -> tuple:
+        return self._granules
+
+    def bounds(self, granule: Granule, column: str):
+        key = (granule.index, column)
+        if key not in self._bounds:
+            chunk = self.file.row_groups[granule.index].chunks[column]
+            band = None
+            if codecs.info(chunk.column.encoding).supports_model_bounds:
+                band = chunk.column.sequence.model_bounds()
+            self._bounds[key] = band
+        return self._bounds[key]
+
+    def load(self, granule: Granule, column: str, stats):
+        group = self.file.row_groups[granule.index]
+        nbytes = group.chunks[column].stored_bytes()
+        encoded = self.file.scan_column(group, column, self.io)
+        if stats is not None:
+            stats.chunks_scanned += 1
+            stats.bytes_scanned += nbytes
+            stats.bytes_read += nbytes
+            stats.reads += 1
+            if self.io is not None:
+                stats.io_s += (nbytes / self.io.bandwidth_bytes_per_s
+                               + self.io.latency_s)
+        return encoded
+
+    def describe(self) -> str:
+        label = f"parquet({self.file.encoding}"
+        if self.file.block_compression:
+            label += "+zstd"
+        return label + ")"

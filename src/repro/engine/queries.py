@@ -1,16 +1,23 @@
 """End-to-end query execution with CPU/IO breakdown (Figs. 18, 19, 21).
 
-``run_filter_groupby_query`` reproduces the paper's §5.1.1 template:
+Since PR 4 both helpers are thin *plan builders* over the unified
+:mod:`repro.exec` layer — the engine keeps no private execution path:
 
-    SELECT AVG(val) FROM T WHERE ts_begin < ts < ts_end GROUP BY id
+* ``run_filter_groupby_query`` reproduces the paper's §5.1.1 template
 
-executed with late materialization: the range filter is pushed down to the
-storage layer producing a bitmap; groupby/aggregation then decode only
-surviving positions.  Per-row-group partials are merged as ``(sum,
-count)`` pairs — never as means, which would be wrong whenever a group's
-rows split unevenly across row groups.  ``run_bitmap_aggregation`` is
-§5.1.2's kernel: scan a single column, skip row groups whose bitmap
-region is empty, sum selected entries.
+      SELECT AVG(val) FROM T WHERE ts_begin < ts < ts_end GROUP BY id
+
+  as ``Scan → Filter(range on ts) → Aggregate(avg val BY id)``.  The
+  executor pushes the range down (zone maps from the codecs'
+  ``model_bounds`` capability, then ``filter_range`` inside surviving
+  row groups), late-materialises ``id``/``val`` at surviving positions
+  only, and merges per-granule ``(sum, count)`` partials exactly —
+  never means, which would be wrong for groups that straddle row
+  groups.
+* ``run_bitmap_aggregation`` is §5.1.2's kernel: the externally
+  supplied bitmap becomes a positional filter term, so row groups whose
+  bitmap region is empty are pruned without touching bytes, and the
+  surviving positions drive a global SUM.
 
 Both helpers treat a caller-supplied :class:`IOModel` as a running
 accumulator: they charge reads onto it but never reset it, and the
@@ -20,12 +27,13 @@ returned :class:`QueryResult` carries this query's own ``bytes_read`` /
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.engine.io import IODelta, IOModel
-from repro.engine.ops import bitmap_sum, filter_to_bitmap, groupby_sum_count
-from repro.engine.parquet import ParquetLikeFile
+from repro.engine.parquet import ParquetLikeFile, ParquetSource
+from repro.exec import Bitmap, Plan, col
 
 
 @dataclass
@@ -51,52 +59,37 @@ def run_filter_groupby_query(file: ParquetLikeFile, ts_lo: int, ts_hi: int,
                              io: IOModel | None = None) -> QueryResult:
     """The Fig. 18 query over a (ts, id, val) file."""
     delta = IODelta(io or IOModel())
-    io = delta.io
-    cpu_filter = 0.0
-    cpu_groupby = 0.0
-    selected = 0
-    merged: dict[int, tuple[int, int]] = {}
-
-    for group in file.row_groups:
-        ts_col = file.scan_column(group, "ts", io)
-        start = time.perf_counter()
-        bitmap = filter_to_bitmap(ts_col, ts_lo, ts_hi)
-        cpu_filter += time.perf_counter() - start
-        hits = int(bitmap.sum())
-        selected += hits
-        if hits == 0:
-            continue
-        id_col = file.scan_column(group, "id", io)
-        val_col = file.scan_column(group, "val", io)
-        start = time.perf_counter()
-        partial = groupby_sum_count(id_col, val_col, bitmap)
-        cpu_groupby += time.perf_counter() - start
-        for key, (total, count) in partial.items():
-            prev_total, prev_count = merged.get(key, (0, 0))
-            merged[key] = (prev_total + total, prev_count + count)
-
-    answer = {key: total / count for key, (total, count) in merged.items()}
-    return QueryResult(cpu_filter, cpu_groupby, delta.seconds, selected,
-                       answer, bytes_read=delta.bytes_read,
-                       reads=delta.reads)
+    plan = (Plan.scan(["id", "val"])
+            .where(col("ts").between(ts_lo, ts_hi))
+            .aggregate({"avg": ("avg", "val")}, group_by="id"))
+    res = plan.execute(ParquetSource(file, io=delta.io))
+    answer = {key: row["avg"] for key, row in res.groups.items()}
+    return QueryResult(
+        cpu_filter_s=res.stats.cpu_filter_s,
+        cpu_groupby_s=res.stats.cpu_gather_s + res.stats.cpu_aggregate_s,
+        io_s=delta.seconds,
+        rows_selected=res.stats.rows_scanned,
+        answer=answer,
+        bytes_read=delta.bytes_read,
+        reads=delta.reads,
+    )
 
 
 def run_bitmap_aggregation(file: ParquetLikeFile, column: str,
                            bitmap, io: IOModel | None = None) -> QueryResult:
     """The Fig. 19 kernel: bitmap-selected SUM over one column."""
     delta = IODelta(io or IOModel())
-    io = delta.io
-    cpu = 0.0
-    total = 0
-    selected = 0
-    for group in file.row_groups:
-        local = bitmap[group.start: group.start + group.n_rows]
-        if not local.any():
-            continue  # row-group skip (all bits zero)
-        col = file.scan_column(group, column, io)
-        start = time.perf_counter()
-        total += bitmap_sum(col, local)
-        cpu += time.perf_counter() - start
-        selected += int(local.sum())
-    return QueryResult(0.0, cpu, delta.seconds, selected, total,
-                       bytes_read=delta.bytes_read, reads=delta.reads)
+    plan = (Plan.scan([column])
+            .where(Bitmap(np.asarray(bitmap, dtype=bool)))
+            .aggregate({"total": ("sum", column)}))
+    res = plan.execute(ParquetSource(file, io=delta.io))
+    total = res.groups[None]["total"] if res.groups else 0
+    return QueryResult(
+        cpu_filter_s=res.stats.cpu_filter_s,
+        cpu_groupby_s=res.stats.cpu_gather_s + res.stats.cpu_aggregate_s,
+        io_s=delta.seconds,
+        rows_selected=res.stats.rows_scanned,
+        answer=total,
+        bytes_read=delta.bytes_read,
+        reads=delta.reads,
+    )

@@ -1,0 +1,331 @@
+"""Predicate expression trees for the execution layer.
+
+A filter predicate is a small tree of per-column terms — range
+(``lo <= v < hi``), equality (a width-1 range), ``IN``-set membership, a
+positional :class:`Bitmap` — combined with :class:`And` / :class:`Or`.
+Every node answers three questions, and the whole planner falls out of
+them:
+
+* :meth:`Expr.columns` — which columns evaluation needs;
+* :meth:`Expr.maybe_match` — given conservative per-column value bounds
+  (zone maps) for a granule, can *any* row match?  ``False`` lets the
+  executor prune the granule without touching its bytes;
+* :meth:`Expr.evaluate` — the exact vectorised mask over a decoded
+  batch.
+
+Top-level AND conjuncts that are plain :class:`Range` terms are
+additionally *pushable*: the executor hands them to the encoded
+sequences' ``filter_range`` (LeCo-family codecs prune again at partition
+granularity inside the chunk); everything else is the *residual*
+predicate, evaluated on gathered batches.  :func:`split_pushdown`
+performs that classification.
+
+Build expressions with the :func:`col` sugar::
+
+    from repro.exec import col
+
+    expr = (col("ts").between(1_000, 2_000)
+            & (col("sensor_id") == 7)
+            & col("status").isin([0, 2]))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: bounds mapping handed to :meth:`Expr.maybe_match`: column name ->
+#: conservative ``(zmin, zmax)`` (inclusive) or ``None`` when unknown
+Bounds = "dict[str, tuple[int, int] | None]"
+
+
+class Expr:
+    """Base predicate node (combine with ``&`` and ``|``)."""
+
+    def columns(self) -> frozenset:
+        """Column names evaluation needs (positional terms need none)."""
+        raise NotImplementedError
+
+    def maybe_match(self, bounds, row_start: int, n_rows: int) -> bool:
+        """Could any row of this granule match?  Conservative: ``True``
+        unless the bounds (or bitmap region) *prove* no row can."""
+        raise NotImplementedError
+
+    def evaluate(self, batch: dict, row_ids: np.ndarray) -> np.ndarray:
+        """Exact boolean mask over ``batch`` (``row_ids`` are global)."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return And.of(self, other)
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or.of(self, other)
+
+
+@dataclass(frozen=True)
+class Range(Expr):
+    """``lo <= column < hi`` (either side ``None`` = unbounded)."""
+
+    column: str
+    lo: int | None
+    hi: int | None
+
+    def columns(self) -> frozenset:
+        return frozenset((self.column,))
+
+    @property
+    def is_empty(self) -> bool:
+        return (self.lo is not None and self.hi is not None
+                and self.lo >= self.hi)
+
+    def maybe_match(self, bounds, row_start, n_rows) -> bool:
+        if self.is_empty:
+            return False
+        band = bounds.get(self.column)
+        if band is None:
+            return True
+        zmin, zmax = band
+        if self.lo is not None and zmax < self.lo:
+            return False
+        if self.hi is not None and zmin >= self.hi:
+            return False
+        return True
+
+    def evaluate(self, batch, row_ids) -> np.ndarray:
+        values = batch[self.column]
+        mask = np.ones(len(values), dtype=bool)
+        if self.lo is not None:
+            mask &= values >= self.lo
+        if self.hi is not None:
+            mask &= values < self.hi
+        return mask
+
+    def intersect(self, other: "Range") -> "Range":
+        """Tightest range implied by both conjuncts (same column)."""
+        if other.column != self.column:
+            raise ValueError("cannot intersect ranges on different columns")
+        lo = self.lo if other.lo is None else \
+            other.lo if self.lo is None else max(self.lo, other.lo)
+        hi = self.hi if other.hi is None else \
+            other.hi if self.hi is None else min(self.hi, other.hi)
+        return Range(self.column, lo, hi)
+
+    def __repr__(self) -> str:
+        if self.lo is not None and self.hi is not None:
+            if self.hi == self.lo + 1:
+                return f"{self.column} == {self.lo}"
+            return f"{self.lo} <= {self.column} < {self.hi}"
+        if self.lo is not None:
+            return f"{self.column} >= {self.lo}"
+        if self.hi is not None:
+            return f"{self.column} < {self.hi}"
+        return f"{self.column}: unbounded"
+
+
+class InSet(Expr):
+    """``column IN (values)`` membership."""
+
+    def __init__(self, column: str, values):
+        self.column = column
+        self.values = np.unique(np.asarray(list(values), dtype=np.int64))
+
+    def columns(self) -> frozenset:
+        return frozenset((self.column,))
+
+    def maybe_match(self, bounds, row_start, n_rows) -> bool:
+        if self.values.size == 0:
+            return False
+        band = bounds.get(self.column)
+        if band is None:
+            return True
+        zmin, zmax = band
+        return bool(((self.values >= zmin) & (self.values <= zmax)).any())
+
+    def evaluate(self, batch, row_ids) -> np.ndarray:
+        return np.isin(batch[self.column], self.values)
+
+    def __repr__(self) -> str:
+        shown = ", ".join(str(v) for v in self.values[:6])
+        if self.values.size > 6:
+            shown += f", ... ({self.values.size} values)"
+        return f"{self.column} IN ({shown})"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, InSet) and other.column == self.column
+                and np.array_equal(other.values, self.values))
+
+    def __hash__(self) -> int:
+        return hash((self.column, self.values.tobytes()))
+
+
+class Bitmap(Expr):
+    """Positional selection by a table-global boolean bitmap.
+
+    The exec-layer form of the paper's §5.1.2 bitmap workloads: granules
+    whose bitmap region is all-zero are pruned without touching bytes,
+    exactly like the old per-row-group skip in the bitmap aggregation.
+    """
+
+    def __init__(self, bitmap: np.ndarray):
+        self.bitmap = np.asarray(bitmap, dtype=bool)
+
+    def columns(self) -> frozenset:
+        return frozenset()
+
+    def maybe_match(self, bounds, row_start, n_rows) -> bool:
+        return bool(self.bitmap[row_start: row_start + n_rows].any())
+
+    def evaluate(self, batch, row_ids) -> np.ndarray:
+        return self.bitmap[row_ids]
+
+    def __repr__(self) -> str:
+        return f"bitmap({int(self.bitmap.sum())}/{self.bitmap.size} set)"
+
+
+class _Junction(Expr):
+    """Shared machinery of :class:`And` / :class:`Or`."""
+
+    def __init__(self, *children: Expr):
+        flat: list[Expr] = []
+        for child in children:
+            if not isinstance(child, Expr):
+                raise TypeError(f"not an expression: {child!r}")
+            if isinstance(child, type(self)):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if not flat:
+            raise ValueError(f"{type(self).__name__} needs children")
+        self.children = tuple(flat)
+
+    @classmethod
+    def of(cls, *children: Expr) -> Expr:
+        """Build, collapsing the single-child case to the child itself."""
+        node = cls(*children)
+        return node.children[0] if len(node.children) == 1 else node
+
+    def columns(self) -> frozenset:
+        return frozenset().union(*(c.columns() for c in self.children))
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and other.children == self.children
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.children))
+
+    def _parts(self) -> list[str]:
+        return [f"({c!r})" if isinstance(c, _Junction) else repr(c)
+                for c in self.children]
+
+
+class And(_Junction):
+    def maybe_match(self, bounds, row_start, n_rows) -> bool:
+        return all(c.maybe_match(bounds, row_start, n_rows)
+                   for c in self.children)
+
+    def evaluate(self, batch, row_ids) -> np.ndarray:
+        mask = self.children[0].evaluate(batch, row_ids)
+        for child in self.children[1:]:
+            mask = mask & child.evaluate(batch, row_ids)
+        return mask
+
+    def __repr__(self) -> str:
+        return " AND ".join(self._parts())
+
+
+class Or(_Junction):
+    def maybe_match(self, bounds, row_start, n_rows) -> bool:
+        return any(c.maybe_match(bounds, row_start, n_rows)
+                   for c in self.children)
+
+    def evaluate(self, batch, row_ids) -> np.ndarray:
+        mask = self.children[0].evaluate(batch, row_ids)
+        for child in self.children[1:]:
+            mask = mask | child.evaluate(batch, row_ids)
+        return mask
+
+    def __repr__(self) -> str:
+        return " OR ".join(self._parts())
+
+
+class Col:
+    """Column reference sugar: comparison operators build terms."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __ge__(self, value: int) -> Range:
+        return Range(self.name, int(value), None)
+
+    def __gt__(self, value: int) -> Range:
+        return Range(self.name, int(value) + 1, None)
+
+    def __lt__(self, value: int) -> Range:
+        return Range(self.name, None, int(value))
+
+    def __le__(self, value: int) -> Range:
+        return Range(self.name, None, int(value) + 1)
+
+    def __eq__(self, value) -> Range:  # type: ignore[override]
+        return Range(self.name, int(value), int(value) + 1)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def between(self, lo: int, hi: int) -> Range:
+        """Half-open range ``lo <= column < hi``."""
+        return Range(self.name, int(lo), int(hi))
+
+    def isin(self, values) -> InSet:
+        return InSet(self.name, values)
+
+
+def col(name: str) -> Col:
+    """Start an expression: ``col("ts").between(lo, hi)``."""
+    return Col(name)
+
+
+def conjuncts(expr: Expr) -> tuple[Expr, ...]:
+    """Top-level AND conjuncts (the whole expression when not an AND)."""
+    return expr.children if isinstance(expr, And) else (expr,)
+
+
+def split_pushdown(expr: Expr | None):
+    """Classify a predicate for execution.
+
+    Returns ``(ranges, bitmaps, residual)``:
+
+    * ``ranges`` — per-column tightest :class:`Range` merged from the
+      pushable top-level conjuncts; the executor hands each one to the
+      source sequence's ``filter_range`` (codec-internal pruning).
+      Only fully-bounded ranges are pushed — ``filter_range(lo, hi)``
+      takes int64 bounds, so a half-unbounded conjunct that did not
+      merge into a closed interval stays residual (it still prunes via
+      zone maps);
+    * ``bitmaps`` — positional :class:`Bitmap` conjuncts, evaluated
+      before any column is loaded;
+    * ``residual`` — everything else (``IN`` terms, OR trees,
+      half-unbounded ranges), an :class:`Expr` to evaluate on gathered
+      batches, or ``None``.
+    """
+    if expr is None:
+        return {}, (), None
+    ranges: dict[str, Range] = {}
+    bitmaps: list[Bitmap] = []
+    rest: list[Expr] = []
+    for term in conjuncts(expr):
+        if isinstance(term, Range):
+            prev = ranges.get(term.column)
+            ranges[term.column] = term if prev is None \
+                else prev.intersect(term)
+        elif isinstance(term, Bitmap):
+            bitmaps.append(term)
+        else:
+            rest.append(term)
+    for column in list(ranges):
+        merged = ranges[column]
+        if merged.lo is None or merged.hi is None:
+            rest.append(ranges.pop(column))
+    residual = And.of(*rest) if rest else None
+    return ranges, tuple(bitmaps), residual

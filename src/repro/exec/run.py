@@ -1,0 +1,483 @@
+"""The vectorized physical executor: one engine for every backend.
+
+:func:`execute` runs a logical :class:`~repro.exec.plan.Plan` over any
+:class:`~repro.exec.source.ColumnSource`, morsel-driven: each granule
+(row group / column chunk / memory slice) is an independent task on a
+thread pool, and per granule the pipeline is
+
+1. **Zone-map pruning** — ``expr.maybe_match`` against the source's
+   conservative per-column bounds; failing granules are skipped without
+   touching bytes (``prune=False`` disables, results identical).
+2. **Pushdown filtering** — positional :class:`Bitmap` conjuncts are
+   applied for free, then each pushable range conjunct runs through the
+   encoded sequence's ``filter_range`` (LeCo-family codecs prune again
+   at partition granularity inside the chunk).
+3. **Residual predicate** — whatever the planner could not push (IN
+   terms, OR trees, half-unbounded ranges) is evaluated vectorized on
+   batches gathered at the surviving positions only.
+4. **Late materialization** — output columns ``gather`` the survivors;
+   ``pushdown=False`` instead decodes every needed column fully and
+   filters afterwards (the naive baseline ``BENCH_exec.json`` measures
+   against).
+5. **Operator partials** — Aggregate partials are ``(sum, count, min,
+   max)`` states merged exactly across granules (never merged means);
+   HashJoin probes the granule's batch against the built side.
+
+:class:`ExecStats` subsumes the store's ``ScanStats`` (granule/chunk/
+byte/cache accounting) and the engine's ``QueryResult`` CPU/IO
+breakdown; :meth:`ExecResult.explain` renders the plan annotated with
+pruning counts and the full cost split.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exec.expr import split_pushdown
+from repro.exec.plan import Aggregate, HashJoin, Plan
+
+#: cap on auto-selected executor threads
+MAX_AUTO_THREADS = 8
+
+
+@dataclass
+class ExecStats:
+    """Work accounting for one plan execution (merged across granules).
+
+    Subsumes the store's ``ScanStats`` (granules/chunks/bytes/cache) and
+    the engine's ``QueryResult`` breakdown (CPU per phase + charged IO).
+    """
+
+    granules_total: int = 0    # granules examined by the planner
+    granules_pruned: int = 0   # skipped whole via zone maps / bitmaps
+    chunks_scanned: int = 0    # column chunks materialized
+    bytes_scanned: int = 0     # stored bytes of materialized chunks
+    bytes_read: int = 0        # stored bytes actually read (cache misses)
+    reads: int = 0             # read operations charged
+    cache_hits: int = 0
+    rows_scanned: int = 0      # rows surviving the filter
+    cpu_filter_s: float = 0.0
+    cpu_gather_s: float = 0.0
+    cpu_aggregate_s: float = 0.0
+    cpu_join_s: float = 0.0
+    io_s: float = 0.0          # charged I/O time (simulated backends)
+    wall_s: float = 0.0
+
+    def merge(self, other: "ExecStats") -> None:
+        self.granules_total += other.granules_total
+        self.granules_pruned += other.granules_pruned
+        self.chunks_scanned += other.chunks_scanned
+        self.bytes_scanned += other.bytes_scanned
+        self.bytes_read += other.bytes_read
+        self.reads += other.reads
+        self.cache_hits += other.cache_hits
+        self.rows_scanned += other.rows_scanned
+        self.cpu_filter_s += other.cpu_filter_s
+        self.cpu_gather_s += other.cpu_gather_s
+        self.cpu_aggregate_s += other.cpu_aggregate_s
+        self.cpu_join_s += other.cpu_join_s
+        self.io_s += other.io_s
+
+    @property
+    def cpu_s(self) -> float:
+        return (self.cpu_filter_s + self.cpu_gather_s
+                + self.cpu_aggregate_s + self.cpu_join_s)
+
+    @property
+    def total_s(self) -> float:
+        return self.cpu_s + self.io_s
+
+
+@dataclass
+class ExecResult:
+    """Output of one execution: rows or groups, plus accounting."""
+
+    columns: dict
+    row_ids: np.ndarray
+    groups: dict | None
+    stats: ExecStats
+    plan: Plan
+    source_desc: str
+    pushed_desc: tuple = ()
+    residual_desc: str | None = None
+    pushdown: bool = True
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.row_ids)
+
+    def explain(self) -> str:
+        """The executed plan, annotated with pruning counts and costs."""
+        stats = self.stats
+        lines: list[str] = []
+        for node in reversed(self.plan.nodes):
+            name = type(node).__name__
+            if name == "Scan":
+                cols = "*" if node.columns is None else \
+                    ", ".join(node.columns)
+                lines.append(f"Scan[{self.source_desc}, columns=({cols})]")
+            elif name == "Filter":
+                continue  # folded into one pushdown summary below
+            elif name == "Project":
+                lines.append(f"Project[{', '.join(node.columns)}]")
+            else:  # Aggregate / HashJoin: reuse the static rendering
+                lines.append(Plan((node,)).describe_nodes()[0])
+        # one combined filter line sits directly above the scan
+        expr = self.plan.filter_expr()
+        if expr is not None:
+            parts = []
+            if not self.pushdown:
+                parts.append(f"naive: {expr!r}")
+            else:
+                if self.pushed_desc:
+                    parts.append("pushed: "
+                                 + " AND ".join(self.pushed_desc))
+                if self.residual_desc:
+                    parts.append(f"residual: {self.residual_desc}")
+            lines.insert(len(lines) - 1, f"Filter[{'; '.join(parts)}]")
+        tree = "\n".join(f"{'  ' * i}{line}"
+                         for i, line in enumerate(lines))
+        pruned = (f"granules: {stats.granules_total} total, "
+                  f"{stats.granules_pruned} pruned; "
+                  f"chunks: {stats.chunks_scanned} scanned, "
+                  f"{stats.cache_hits} cache hits")
+        rows = (f"rows: {stats.rows_scanned} matched; "
+                f"bytes: {stats.bytes_scanned} scanned, "
+                f"{stats.bytes_read} read")
+        cpu = (f"cpu: filter {stats.cpu_filter_s * 1e3:.2f} ms, "
+               f"gather {stats.cpu_gather_s * 1e3:.2f} ms, "
+               f"aggregate {stats.cpu_aggregate_s * 1e3:.2f} ms, "
+               f"join {stats.cpu_join_s * 1e3:.2f} ms")
+        tail = (f"io: {stats.io_s * 1e3:.2f} ms charged; "
+                f"wall: {stats.wall_s * 1e3:.2f} ms")
+        return "\n".join([tree, pruned, rows, cpu, tail])
+
+
+@dataclass
+class _Partial:
+    """One granule's contribution (rows or aggregate states)."""
+
+    row_ids: np.ndarray
+    columns: dict
+    agg: dict | None
+    stats: ExecStats = field(default_factory=ExecStats)
+
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _thread_count(source, n_granules: int, threads: int | None) -> int:
+    if not getattr(source, "parallel_safe", True):
+        # unlocked accounting state (e.g. a caller's IOModel): stay serial
+        return 1
+    if threads is not None:
+        return max(1, threads)
+    return max(1, min(n_granules, os.cpu_count() or 1, MAX_AUTO_THREADS))
+
+
+def _ordered_unique(*column_lists) -> tuple:
+    seen: dict[str, None] = {}
+    for cols in column_lists:
+        for c in cols:
+            seen.setdefault(c, None)
+    return tuple(seen)
+
+
+# --------------------------------------------------------------- aggregate
+def _agg_partial(node: Aggregate, batch: dict, n_rows: int) -> dict:
+    """Per-group accumulator states for one granule's surviving rows.
+
+    ``n_rows`` is the surviving row count — the batch may be empty of
+    columns when every aggregate is a ``count`` (no values needed).
+    """
+    if node.group_by is None:
+        return {None: tuple(_agg_state(op, batch.get(column), n_rows)
+                            for _, op, column in node.aggs)}
+    keys = batch[node.group_by]
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    starts = np.concatenate([[0], np.flatnonzero(np.diff(sorted_keys)) + 1])
+    counts = np.diff(np.append(starts, sorted_keys.size))
+    columns = {}
+    for _, op, column in node.aggs:
+        if op != "count" and column not in columns:
+            columns[column] = batch[column][order]
+    per_agg = []
+    for _, op, column in node.aggs:
+        if op == "count":
+            per_agg.append(counts)
+        elif op in ("sum", "avg"):
+            per_agg.append(np.add.reduceat(columns[column], starts))
+        elif op == "min":
+            per_agg.append(np.minimum.reduceat(columns[column], starts))
+        else:  # max
+            per_agg.append(np.maximum.reduceat(columns[column], starts))
+    out = {}
+    for j, key in enumerate(sorted_keys[starts]):
+        states = []
+        for (_, op, _), values in zip(node.aggs, per_agg):
+            if op == "avg":
+                states.append((int(values[j]), int(counts[j])))
+            else:
+                states.append(int(values[j]))
+        out[int(key)] = tuple(states)
+    return out
+
+
+def _agg_state(op: str, values, n: int):
+    """Whole-batch accumulator state for a global aggregate."""
+    if op == "count":
+        return n
+    if op in ("sum", "avg"):
+        total = int(values.sum()) if n else 0
+        return (total, n) if op == "avg" else total
+    if n == 0:
+        return None  # min/max of nothing merges as identity
+    return int(values.min()) if op == "min" else int(values.max())
+
+
+def _merge_states(node: Aggregate, a: tuple, b: tuple) -> tuple:
+    merged = []
+    for (_, op, _), sa, sb in zip(node.aggs, a, b):
+        if op in ("sum", "count"):
+            merged.append(sa + sb)
+        elif op == "avg":
+            merged.append((sa[0] + sb[0], sa[1] + sb[1]))
+        elif sa is None:
+            merged.append(sb)
+        elif sb is None:
+            merged.append(sa)
+        else:
+            merged.append(min(sa, sb) if op == "min" else max(sa, sb))
+    return tuple(merged)
+
+
+def _finalize_groups(node: Aggregate, merged: dict) -> dict:
+    out = {}
+    for key, states in merged.items():
+        row = {}
+        for (name, op, _), state in zip(node.aggs, states):
+            if op == "avg":
+                total, count = state
+                row[name] = total / count if count else float("nan")
+            else:
+                row[name] = state
+        out[key] = row
+    return out
+
+
+# -------------------------------------------------------------------- join
+def _probe(node: HashJoin, out: dict, row_ids: np.ndarray,
+           output_cols: tuple):
+    """Probe one granule's batch; returns (row_ids, columns)."""
+    probe_values = out[node.on]
+    matched = np.isin(probe_values, node.keys)
+    positions = np.flatnonzero(matched)
+    row_ids = row_ids[positions]
+    columns = {c: out[c][positions] for c in output_cols}
+    if node.how == "inner" and node.build:
+        order = np.argsort(node.keys, kind="stable")
+        sorted_keys = node.keys[order]
+        slot = np.searchsorted(sorted_keys, probe_values[positions])
+        build_rows = order[slot] if slot.size else slot
+        for name, values in node.build:
+            columns[name] = np.asarray(values)[build_rows]
+    return row_ids, columns
+
+
+# ----------------------------------------------------------------- execute
+def execute(plan: Plan, source, threads: int | None = None,
+            prune: bool = True, pushdown: bool = True) -> ExecResult:
+    """Run ``plan`` over ``source``.
+
+    Parameters
+    ----------
+    threads:
+        Granule-level parallelism (``None`` = auto; clamped to 1 for
+        sources that are not ``parallel_safe``).
+    prune:
+        Zone-map granule pruning (disable for the unpruned baseline;
+        results are identical).
+    pushdown:
+        ``False`` switches to naive decode-all-then-filter execution
+        (no ``filter_range``, no late materialization) — the honest
+        baseline the exec benchmark compares against.  Results are
+        identical.
+    """
+    start = time.perf_counter()
+    names = tuple(source.column_names)
+    expr = plan.filter_expr()
+    terminal = plan.terminal()
+    output_cols = plan.output_columns(names)
+    pred_cols = tuple(sorted(expr.columns())) if expr is not None else ()
+
+    if isinstance(terminal, Aggregate):
+        needed = [c for _, op, c in terminal.aggs if op != "count"]
+        if terminal.group_by is not None:
+            needed.append(terminal.group_by)
+        mat_cols = _ordered_unique(needed)
+    elif isinstance(terminal, HashJoin):
+        mat_cols = _ordered_unique(output_cols, (terminal.on,))
+    else:
+        mat_cols = output_cols
+
+    referenced = _ordered_unique(plan.scan_node.columns or (), output_cols,
+                                 mat_cols, pred_cols)
+    unknown = [c for c in referenced if c not in names]
+    if unknown:
+        raise KeyError(
+            f"unknown column(s) {', '.join(repr(c) for c in unknown)}; "
+            f"available: {', '.join(names)}")
+
+    if pushdown:
+        ranges, bitmaps, residual = split_pushdown(expr)
+    else:
+        ranges, bitmaps, residual = {}, (), expr
+
+    def run_granule(granule) -> _Partial:
+        st = ExecStats(granules_total=1)
+        loaded: dict[str, object] = {}
+
+        def load(column: str):
+            seq = loaded.get(column)
+            if seq is None:
+                seq = loaded[column] = source.load(granule, column, st)
+            return seq
+
+        n = granule.n_rows
+        if expr is not None and prune:
+            bounds = {c: source.bounds(granule, c) for c in pred_cols}
+            if not expr.maybe_match(bounds, granule.row_start, n):
+                st.granules_pruned = 1
+                return _Partial(_EMPTY, {c: _EMPTY for c in output_cols},
+                                None, st)
+
+        naive_batch: dict[str, np.ndarray] = {}
+        residual_values: dict[str, np.ndarray] = {}
+        if expr is None:
+            positions = None
+        elif pushdown:
+            t0 = time.perf_counter()
+            mask = None
+            for term in bitmaps:
+                local = term.bitmap[granule.row_start:
+                                    granule.row_start + n]
+                mask = local.copy() if mask is None else mask & local
+            for column, rng in ranges.items():
+                if mask is not None and not mask.any():
+                    break
+                if rng.is_empty:
+                    mask = np.zeros(n, dtype=bool)
+                    break
+                part = load(column).filter_range(rng.lo, rng.hi)
+                mask = part if mask is None else mask & part
+            positions = np.arange(n, dtype=np.int64) if mask is None \
+                else np.flatnonzero(mask)
+            if residual is not None and positions.size:
+                batch = {c: load(c).gather(positions)
+                         for c in sorted(residual.columns())}
+                keep = residual.evaluate(batch,
+                                         granule.row_start + positions)
+                positions = positions[keep]
+                # the residual gather already decoded these columns at
+                # the surviving positions; reuse instead of re-gathering
+                residual_values = {c: values[keep]
+                                   for c, values in batch.items()}
+            st.cpu_filter_s += time.perf_counter() - t0
+        else:
+            # naive: decode every predicate column fully, then compare
+            for c in pred_cols:
+                naive_batch[c] = load(c).decode_all()
+            t0 = time.perf_counter()
+            row_ids = granule.row_start + np.arange(n, dtype=np.int64)
+            positions = np.flatnonzero(expr.evaluate(naive_batch, row_ids))
+            st.cpu_filter_s += time.perf_counter() - t0
+
+        st.rows_scanned += n if positions is None else len(positions)
+        if positions is not None and positions.size == 0:
+            return _Partial(_EMPTY, {c: _EMPTY for c in output_cols},
+                            None, st)
+
+        t0 = time.perf_counter()
+        out: dict[str, np.ndarray] = {}
+        for c in mat_cols:
+            if positions is None:
+                out[c] = load(c).decode_all()
+            elif c in naive_batch:
+                out[c] = naive_batch[c][positions]
+            elif c in residual_values:
+                out[c] = residual_values[c]
+            elif not pushdown:
+                out[c] = load(c).decode_all()[positions]
+            else:
+                out[c] = load(c).gather(positions)
+        st.cpu_gather_s += time.perf_counter() - t0
+        row_ids = granule.row_start + (
+            np.arange(n, dtype=np.int64) if positions is None
+            else positions)
+
+        if isinstance(terminal, Aggregate):
+            t0 = time.perf_counter()
+            agg = _agg_partial(terminal, out, len(row_ids))
+            st.cpu_aggregate_s += time.perf_counter() - t0
+            return _Partial(_EMPTY, {}, agg, st)
+        if isinstance(terminal, HashJoin):
+            t0 = time.perf_counter()
+            row_ids, columns = _probe(terminal, out, row_ids, output_cols)
+            st.cpu_join_s += time.perf_counter() - t0
+            return _Partial(row_ids, columns, None, st)
+        return _Partial(row_ids, {c: out[c] for c in output_cols},
+                        None, st)
+
+    granules = source.granules()
+    n_threads = _thread_count(source, len(granules), threads)
+    if n_threads == 1 or len(granules) <= 1:
+        partials = [run_granule(g) for g in granules]
+    else:
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            partials = list(pool.map(run_granule, granules))
+
+    stats = ExecStats()
+    for part in partials:
+        stats.merge(part.stats)
+
+    groups = None
+    if isinstance(terminal, Aggregate):
+        merged: dict = {}
+        for part in partials:
+            if not part.agg:
+                continue
+            for key, states in part.agg.items():
+                prev = merged.get(key)
+                merged[key] = states if prev is None else \
+                    _merge_states(terminal, prev, states)
+        groups = _finalize_groups(terminal, merged)
+        row_ids, columns = _EMPTY, {}
+    else:
+        row_ids = np.concatenate([p.row_ids for p in partials]) \
+            if partials else _EMPTY
+        # inner joins append build payload columns beyond output_cols;
+        # empty/pruned partials carry only the projection, so take the
+        # union of names (projection order first, payload after)
+        out_names = _ordered_unique(output_cols,
+                                    *(tuple(p.columns) for p in partials))
+        columns = {
+            name: np.concatenate([
+                p.columns.get(name, _EMPTY) for p in partials])
+            if partials else _EMPTY.copy()
+            for name in out_names
+        }
+
+    stats.wall_s = time.perf_counter() - start
+    return ExecResult(
+        columns=columns, row_ids=row_ids, groups=groups, stats=stats,
+        plan=plan, source_desc=source.describe(),
+        pushed_desc=tuple(repr(r) for r in ranges.values())
+        + tuple(repr(b) for b in bitmaps),
+        residual_desc=repr(residual) if residual is not None else None,
+        pushdown=pushdown)

@@ -19,7 +19,7 @@ keep revived chunks in a bounded LRU cache::
 """
 
 from repro.store.cache import ChunkCache
-from repro.store.executor import ScanResult, ScanStats
+from repro.store.executor import ScanResult, ScanStats, StoreSource
 from repro.store.format import ChunkMeta, Manifest, ShardFooter
 from repro.store.table import Shard, Table
 from repro.store.writer import (
@@ -38,6 +38,7 @@ __all__ = [
     "ScanResult",
     "ScanStats",
     "Shard",
+    "StoreSource",
     "ShardFooter",
     "Table",
     "TableWriter",

@@ -8,8 +8,11 @@ Three subcommands::
 
 ``ingest`` materialises one of the named dataset fixtures (any table from
 ``repro.datasets.load_table`` or the ``sensors`` stream) into a table
-directory; ``scan`` runs the parallel pruned scan and prints the work
-accounting next to the first result rows.
+directory; ``scan`` builds a :class:`repro.exec.Plan` over the unified
+execution layer, runs it morsel-parallel with pruning + pushdown, and
+prints the work accounting next to the first result rows (pass
+``--explain`` for the annotated plan).  Unknown projection or predicate
+columns exit with a clean one-line error naming the available columns.
 """
 
 from __future__ import annotations
@@ -19,6 +22,8 @@ import json
 import sys
 import time
 
+from repro.exec import Plan, Range
+from repro.store.executor import StoreSource
 from repro.store.table import Table
 from repro.store.writer import (
     DEFAULT_CHUNK_ROWS,
@@ -75,17 +80,35 @@ def _parse_where(text: str) -> tuple[str, int, int]:
 def _cmd_scan(args) -> int:
     with Table.open(args.table) as table:
         columns = args.columns.split(",") if args.columns else None
-        result = table.scan(columns=columns, where=args.where,
-                            prune=not args.no_prune, threads=args.threads)
+        # validate names here so a typo is one clean line, while
+        # unexpected internal errors keep their tracebacks
+        requested = list(columns or [])
+        if args.where is not None:
+            requested.append(args.where[0])
+        unknown = [c for c in requested if c not in table.column_names]
+        if unknown:
+            print("error: unknown column(s) "
+                  + ", ".join(repr(c) for c in unknown)
+                  + f"; available: {', '.join(table.column_names)}",
+                  file=sys.stderr)
+            return 2
+        plan = Plan.scan(tuple(columns) if columns else None)
+        if args.where is not None:
+            pred_col, lo, hi = args.where
+            plan = plan.where(Range(pred_col, lo, hi))
+        result = plan.execute(StoreSource(table), threads=args.threads,
+                              prune=not args.no_prune)
         stats = result.stats
         rate = result.n_rows / max(stats.wall_s, 1e-9)
         print(f"{result.n_rows} rows in {stats.wall_s * 1e3:.1f} ms "
               f"({rate:,.0f} rows/s)")
-        print(f"  chunks: {stats.chunks_pruned} pruned / "
+        print(f"  chunks: {stats.granules_pruned} pruned / "
               f"{stats.chunks_scanned} scanned  "
               f"bytes read: {stats.bytes_read}  "
               f"(scanned: {stats.bytes_scanned}, "
               f"cache hits: {stats.cache_hits})")
+        if args.explain:
+            print(result.explain())
         names = list(result.columns)
         head = min(args.limit, result.n_rows)
         if head:
@@ -133,6 +156,8 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--threads", type=int, default=None)
     scan.add_argument("--no-prune", action="store_true",
                       help="disable zone-map pruning (baseline)")
+    scan.add_argument("--explain", action="store_true",
+                      help="print the executed plan with pruning counts")
     scan.add_argument("--limit", type=int, default=5,
                       help="result rows to print")
     scan.set_defaults(func=_cmd_scan)

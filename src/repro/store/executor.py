@@ -1,46 +1,41 @@
-"""The parallel scan executor: pruning, pushdown, late materialization.
+"""The store's execution adapter: ``StoreSource`` + the scan shim.
 
-One scan is planned per shard and the shards run concurrently on a thread
-pool — the hot paths (envelope parsing into numpy views, the word-parallel
-bit-unpack kernels, vectorised ``filter_range``/``gather``) spend their
-time in numpy, which releases the GIL, so shard-level threads overlap for
-real.  Per shard the plan is:
+Since PR 4 the store has no private scan executor: scans run through
+the unified :mod:`repro.exec` layer.  This module contributes
 
-1. **Zone-map pruning** — every chunk of the predicate column whose
-   footer ``[zmin, zmax]`` band cannot intersect ``[lo, hi)`` is skipped
-   without touching its bytes (the store-level analogue of LeCo's §5.1.1
-   partition pruning, one level up).
-2. **Predicate pushdown** — surviving chunks are revived and filtered
-   through the sequence protocol's ``filter_range`` (LeCo-family chunks
-   prune again at partition granularity inside the chunk).
-3. **Late materialization** — projected columns ``gather`` only the
-   surviving positions, chunk by chunk; a full scan (no predicate) takes
-   the cheaper ``decode_all`` path.
-
-Chunk loads go through the table's bounded LRU :class:`ChunkCache`; the
-:class:`ScanStats` returned with every result distinguish bytes *scanned*
-(chunk bytes the plan touched) from bytes *read* (cache misses that hit
-the mmap), which is what the store benchmark reports.
+* :class:`StoreSource` — the :class:`~repro.exec.source.ColumnSource`
+  over an open :class:`~repro.store.table.Table`.  Granules are the
+  column-aligned chunks (morsel = one chunk row range across all
+  columns); zone maps come straight from the footer catalog; loads
+  revive envelopes through the table's bounded LRU chunk cache, and the
+  source is ``parallel_safe`` (the hot paths release the GIL), so the
+  executor fans granules out on its thread pool.
+* :func:`run_scan` — the legacy entry :meth:`Table.scan` still calls.
+  It builds a one-predicate plan, executes it, and folds the unified
+  :class:`~repro.exec.run.ExecStats` back into the historical
+  :class:`ScanStats` shape (bytes *scanned* vs bytes *read* etc.) so
+  existing callers and benchmarks keep their accounting.
 """
 
 from __future__ import annotations
 
-import os
-import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
-#: cap on auto-selected scan threads
+from repro.exec import Plan, Range, execute
+from repro.exec.source import ColumnSource, Granule
+
+#: cap on auto-selected scan threads (kept for backward compatibility;
+#: the exec layer applies its own identical cap)
 MAX_AUTO_THREADS = 8
 
 
 @dataclass
 class ScanStats:
-    """Work accounting for one scan (merged across shard workers)."""
+    """Work accounting for one scan (legacy shape; see ``ExecStats``)."""
 
-    chunks_total: int = 0     # predicate chunks considered by the planner
+    chunks_total: int = 0     # predicate granules considered by the planner
     chunks_pruned: int = 0    # skipped whole via zone maps
     chunks_scanned: int = 0   # chunks materialized (predicate + projection)
     bytes_scanned: int = 0    # stored bytes of materialized chunks
@@ -72,114 +67,98 @@ class ScanResult:
         return len(self.row_ids)
 
 
-def _auto_threads(n_shards: int) -> int:
-    return max(1, min(n_shards, os.cpu_count() or 1, MAX_AUTO_THREADS))
+class StoreSource(ColumnSource):
+    """:class:`ColumnSource` over an open persistent-store table."""
+
+    parallel_safe = True  # numpy/bit-kernel hot paths release the GIL
+
+    def __init__(self, table):
+        self.table = table
+        granules: list[Granule] = []
+        chunks: list[tuple[int, int]] = []  # granule -> (shard, chunk idx)
+        first = table.column_names[0]
+        for shard_idx, shard in enumerate(table.shards):
+            for chunk_idx, meta in enumerate(shard.by_column[first]):
+                granules.append(Granule(
+                    len(granules), shard.footer.row_start + meta.row_start,
+                    meta.n_rows))
+                chunks.append((shard_idx, chunk_idx))
+        self._granules = tuple(granules)
+        self._chunks = tuple(chunks)
+
+    @property
+    def column_names(self) -> tuple:
+        return self.table.column_names
+
+    @property
+    def n_rows(self) -> int:
+        return self.table.n_rows
+
+    def granules(self) -> tuple:
+        return self._granules
+
+    def _meta(self, granule: Granule, column: str):
+        shard_idx, chunk_idx = self._chunks[granule.index]
+        return shard_idx, \
+            self.table.shards[shard_idx].by_column[column][chunk_idx]
+
+    def bounds(self, granule: Granule, column: str):
+        _, meta = self._meta(granule, column)
+        return meta.zmin, meta.zmax
+
+    def load(self, granule: Granule, column: str, stats):
+        """Revive one chunk through the table's cache, charging stats."""
+        shard_idx, meta = self._meta(granule, column)
+        table = self.table
+        if stats is not None:
+            stats.chunks_scanned += 1
+            stats.bytes_scanned += meta.nbytes
+
+        def loader():
+            return table.revive_chunk(shard_idx, meta)
+
+        if table.cache is None:
+            if stats is not None:
+                stats.bytes_read += meta.nbytes
+                stats.reads += 1
+            return loader()
+        seq, hit = table.cache.get_or_load((shard_idx, meta.offset),
+                                           loader, meta.nbytes)
+        if stats is not None:
+            if hit:
+                stats.cache_hits += 1
+            else:
+                stats.bytes_read += meta.nbytes
+                stats.reads += 1
+        return seq
+
+    def describe(self) -> str:
+        return f"store:{self.table.path}"
 
 
 def run_scan(table, projection: tuple[str, ...],
              where: tuple[str, int, int] | None, prune: bool,
              threads: int | None) -> ScanResult:
-    """Execute one scan over ``table`` (see :meth:`Table.scan`)."""
-    start = time.perf_counter()
-    n_shards = len(table.shards)
-    threads = _auto_threads(n_shards) if threads is None else max(threads, 1)
+    """Execute one scan over ``table`` (see :meth:`Table.scan`).
 
-    def job(idx: int):
-        return _scan_shard(table, idx, projection, where, prune)
-
-    if threads == 1 or n_shards <= 1:
-        parts = [job(i) for i in range(n_shards)]
-    else:
-        with ThreadPoolExecutor(max_workers=threads) as pool:
-            parts = list(pool.map(job, range(n_shards)))
-
-    stats = ScanStats()
-    for _, _, shard_stats in parts:
-        stats.merge(shard_stats)
-    row_ids = np.concatenate([p[0] for p in parts]) if parts else \
-        np.empty(0, dtype=np.int64)
-    columns = {
-        name: np.concatenate([p[1][name] for p in parts]) if parts else
-        np.empty(0, dtype=np.int64)
-        for name in projection
-    }
-    stats.wall_s = time.perf_counter() - start
-    return ScanResult(columns=columns, row_ids=row_ids, stats=stats)
-
-
-def _load_chunk(table, shard_idx: int, meta, stats: ScanStats):
-    """Revive one chunk through the table's cache, updating accounting."""
-    stats.chunks_scanned += 1
-    stats.bytes_scanned += meta.nbytes
-
-    def loader():
-        return table.revive_chunk(shard_idx, meta)
-
-    if table.cache is None:
-        stats.bytes_read += meta.nbytes
-        return loader()
-    seq, hit = table.cache.get_or_load((shard_idx, meta.offset), loader,
-                                       meta.nbytes)
-    if hit:
-        stats.cache_hits += 1
-    else:
-        stats.bytes_read += meta.nbytes
-    return seq
-
-
-def _scan_shard(table, shard_idx: int, projection: tuple[str, ...],
-                where, prune: bool):
-    """One shard's plan; returns (global row ids, columns, stats)."""
-    shard = table.shards[shard_idx]
-    stats = ScanStats()
-    out: dict[str, np.ndarray] = {}
-
-    if where is None:
-        # full scan: decode every chunk of the projected columns
-        for name in projection:
-            out[name] = np.concatenate(
-                [_load_chunk(table, shard_idx, meta, stats).decode_all()
-                 for meta in shard.by_column[name]])
-        stats.rows_scanned += shard.footer.n_rows
-        row_ids = shard.footer.row_start + np.arange(shard.footer.n_rows,
-                                                     dtype=np.int64)
-        return row_ids, out, stats
-
-    pred_col, lo, hi = where
-    position_runs = []
-    pred_seqs: dict[int, object] = {}  # chunk index -> revived sequence
-    for idx, meta in enumerate(shard.by_column[pred_col]):
-        stats.chunks_total += 1
-        if prune and (meta.zmax < lo or meta.zmin >= hi):
-            stats.chunks_pruned += 1
-            continue
-        seq = _load_chunk(table, shard_idx, meta, stats)
-        pred_seqs[idx] = seq
-        hits = np.flatnonzero(seq.filter_range(lo, hi))
-        if hits.size:
-            position_runs.append(meta.row_start + hits)
-    if not position_runs:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, {name: empty.copy() for name in projection}, stats
-    positions = np.concatenate(position_runs)
-    stats.rows_scanned += len(positions)
-
-    # late materialization: chunk boundaries are aligned across columns,
-    # so one chunk-id split of the (sorted) positions serves every column
-    chunk_ids = positions // table.chunk_rows
-    boundaries = np.flatnonzero(np.diff(chunk_ids)) + 1
-    groups = np.split(np.arange(len(positions)), boundaries)
-    for name in projection:
-        column_chunks = shard.by_column[name]
-        gathered = np.empty(len(positions), dtype=np.int64)
-        for group in groups:
-            cid = int(chunk_ids[group[0]])
-            meta = column_chunks[cid]
-            if name == pred_col:
-                # the filter stage already revived this chunk
-                seq = pred_seqs[cid]
-            else:
-                seq = _load_chunk(table, shard_idx, meta, stats)
-            gathered[group] = seq.gather(positions[group] - meta.row_start)
-        out[name] = gathered
-    return shard.footer.row_start + positions, out, stats
+    A thin shim over :func:`repro.exec.execute`: the historical
+    ``(column, lo, hi)`` predicate becomes a pushable range term, and
+    the unified stats fold back into :class:`ScanStats`.
+    """
+    plan = Plan.scan(projection)
+    if where is not None:
+        column, lo, hi = where
+        plan = plan.where(Range(column, int(lo), int(hi)))
+    res = execute(plan, StoreSource(table), threads=threads, prune=prune)
+    stats = ScanStats(
+        chunks_total=res.stats.granules_total if where is not None else 0,
+        chunks_pruned=res.stats.granules_pruned,
+        chunks_scanned=res.stats.chunks_scanned,
+        bytes_scanned=res.stats.bytes_scanned,
+        bytes_read=res.stats.bytes_read,
+        cache_hits=res.stats.cache_hits,
+        rows_scanned=res.stats.rows_scanned,
+        wall_s=res.stats.wall_s,
+    )
+    return ScanResult(columns=res.columns, row_ids=res.row_ids,
+                      stats=stats)

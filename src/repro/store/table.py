@@ -150,14 +150,16 @@ class Table:
         """
         projection = tuple(columns) if columns is not None \
             else self.column_names
+        available = ", ".join(self.column_names)
         for name in projection:
             if name not in self.column_names:
-                raise ValueError(f"unknown column {name!r}; "
-                                 f"have {self.column_names}")
+                raise KeyError(f"unknown projection column {name!r}; "
+                               f"available: {available}")
         if where is not None:
             pred_col, lo, hi = where
             if pred_col not in self.column_names:
-                raise ValueError(f"unknown predicate column {pred_col!r}")
+                raise KeyError(f"unknown predicate column {pred_col!r}; "
+                               f"available: {available}")
             where = (pred_col, int(lo), int(hi))
         return run_scan(self, projection, where, prune, threads)
 

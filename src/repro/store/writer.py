@@ -13,11 +13,14 @@ column: pass one spec/name for every column, or a mapping, or ``"auto"``
 candidates and keeps the smallest envelope (the store-level analogue of
 the engine's encoding choice).
 
-Zone maps follow one rule, uniformly: if the encoded sequence exposes
-``model_bounds()`` (LeCo's model + residual-width band, no decode), the
-footer stores those; otherwise the writer computes exact min/max from the
-raw values it is holding anyway.  New codecs therefore get zone maps with
-zero store-side special-casing.
+Zone maps follow one rule, uniformly: codecs whose registry entry sets
+the ``supports_model_bounds`` capability flag provide their own bounds
+via ``model_bounds()`` (LeCo's model + residual-width band, no decode);
+for everything else the writer computes exact min/max from the raw
+values it is holding anyway.  New codecs therefore get zone maps with
+zero store-side special-casing — set the flag only if the format can
+bound values cheaper than the computed fallback.  The exec planner
+reads the same flag when deriving pruning bounds for in-memory sources.
 """
 
 from __future__ import annotations
@@ -83,17 +86,22 @@ class TableWriter:
         write_table(path, {"ts": ts, "val": val})
 
     ``codec`` is a registry name, a :class:`CodecSpec`, ``"auto"``, or a
-    per-column mapping of any of those.
+    per-column mapping of any of those.  ``schema`` optionally declares
+    the column names up front: malformed schemas (duplicates, zero
+    columns) and per-column codec mappings that do not cover them are
+    rejected here, at construction, instead of surfacing when the first
+    batch arrives.
     """
 
     def __init__(self, path: str, codec="auto",
                  shard_rows: int = DEFAULT_SHARD_ROWS,
                  chunk_rows: int = DEFAULT_CHUNK_ROWS,
-                 overwrite: bool = False):
+                 overwrite: bool = False, schema=None):
         if shard_rows <= 0 or chunk_rows <= 0:
             raise ValueError("shard_rows and chunk_rows must be positive")
         if chunk_rows > shard_rows:
             chunk_rows = shard_rows
+        schema = self._validate_schema(schema, codec)
         self.path = path
         self.codec = codec
         self.shard_rows = shard_rows
@@ -112,13 +120,35 @@ class TableWriter:
         for stale in os.listdir(path):
             if stale.endswith(".rps.tmp"):
                 os.remove(os.path.join(path, stale))
-        self._schema: tuple[str, ...] | None = None
-        self._buffer: dict[str, list[np.ndarray]] = {}
+        self._schema: tuple[str, ...] | None = schema
+        self._buffer: dict[str, list[np.ndarray]] = \
+            {name: [] for name in schema} if schema else {}
         self._buffered = 0
         self._rows_written = 0
         self._shards: list[dict] = []
         self._codec_cache: dict[object, object] = {}
         self._closed = False
+
+    @staticmethod
+    def _validate_schema(schema, codec) -> tuple[str, ...] | None:
+        """Construction-time schema checks (duplicates, zero columns)."""
+        if schema is None:
+            return None
+        names = tuple(str(name) for name in schema)
+        if not names:
+            raise ValueError(
+                "zero-column schema: a table needs at least one column")
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        if dupes:
+            raise ValueError(
+                f"duplicate column name(s) in schema: {', '.join(dupes)}")
+        if isinstance(codec, dict):
+            missing = [n for n in names if n not in codec]
+            if missing:
+                raise ValueError(
+                    "no codec configured for column(s): "
+                    + ", ".join(repr(n) for n in missing))
+        return names
 
     # ------------------------------------------------------------- ingest
     def append(self, batch: dict[str, np.ndarray]) -> None:
@@ -176,7 +206,7 @@ class TableWriter:
             return
         if self._buffered:
             self._flush_shard(self._buffered)
-        if self._schema is None:
+        if self._rows_written == 0:
             raise ValueError("cannot close a writer that ingested no rows")
         live = {entry["file"] for entry in self._shards}
         for entry in self._shards:
@@ -234,7 +264,10 @@ class TableWriter:
             name = self._codec_label(column)
             seq = self._cached_codec(spec).encode(values)
             blob = seq.to_bytes()
-        bounds = seq.model_bounds()
+        # the capability flag decides who supplies the zone map: the
+        # codec's model (no decode) or the writer's exact computation
+        bounds = seq.model_bounds() \
+            if codecs.info(name).supports_model_bounds else None
         if bounds is not None:
             zmin, zmax, source = int(bounds[0]), int(bounds[1]), "model"
         else:
@@ -298,5 +331,6 @@ def write_table(path: str, columns: dict[str, np.ndarray], codec="auto",
                 overwrite: bool = False) -> None:
     """One-shot ingest of a full in-memory column dict."""
     with TableWriter(path, codec=codec, shard_rows=shard_rows,
-                     chunk_rows=chunk_rows, overwrite=overwrite) as writer:
+                     chunk_rows=chunk_rows, overwrite=overwrite,
+                     schema=tuple(columns)) as writer:
         writer.append(columns)

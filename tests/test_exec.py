@@ -1,0 +1,447 @@
+"""Tests for the unified execution layer (``repro.exec``)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the CI image
+    HAVE_HYPOTHESIS = False
+
+from repro import codecs
+from repro.engine import (
+    ENCODINGS,
+    IOModel,
+    ParquetLikeFile,
+    ParquetSource,
+    run_filter_groupby_query,
+)
+from repro.exec import (
+    And,
+    ArraySource,
+    Bitmap,
+    InSet,
+    Or,
+    Plan,
+    Range,
+    col,
+    split_pushdown,
+)
+from repro.store import Table, write_table
+from repro.store.executor import StoreSource
+
+INT_CODECS = [n for n in codecs.available()
+              if codecs.info(n).supports_integers]
+
+
+def sensor_columns(n=6000, seed=3):
+    from repro.datasets import sensor_fixture
+
+    return sensor_fixture(n, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def backends(tmp_path_factory):
+    """The same table behind all three ColumnSource implementations."""
+    columns = sensor_columns()
+    path = str(tmp_path_factory.mktemp("exec") / "table")
+    write_table(path, columns, codec="auto", shard_rows=1500,
+                chunk_rows=250)
+    table = Table.open(path)
+    file = ParquetLikeFile.write(columns, "leco", row_group_size=1500,
+                                 partition_size=250)
+    sources = {
+        "store": StoreSource(table),
+        "parquet": ParquetSource(file),
+        "memory": ArraySource(columns, morsel_rows=1500),
+    }
+    yield columns, sources, file
+    table.close()
+
+
+class TestExpr:
+    def test_col_sugar(self):
+        assert col("a").between(3, 9) == Range("a", 3, 9)
+        assert (col("a") >= 3) == Range("a", 3, None)
+        assert (col("a") > 3) == Range("a", 4, None)
+        assert (col("a") < 9) == Range("a", None, 9)
+        assert (col("a") <= 9) == Range("a", None, 10)
+        assert (col("a") == 5) == Range("a", 5, 6)
+        assert col("a").isin([2, 1, 2]) == InSet("a", [1, 2])
+
+    def test_junctions_flatten(self):
+        e = (col("a") >= 1) & (col("b") >= 2) & (col("c") >= 3)
+        assert isinstance(e, And) and len(e.children) == 3
+        o = (col("a") >= 1) | ((col("b") >= 2) | (col("c") >= 3))
+        assert isinstance(o, Or) and len(o.children) == 3
+        assert e.columns() == frozenset("abc")
+
+    def test_range_maybe_match(self):
+        r = Range("a", 10, 20)
+        assert r.maybe_match({"a": (0, 9)}, 0, 5) is False
+        assert r.maybe_match({"a": (20, 30)}, 0, 5) is False
+        assert r.maybe_match({"a": (15, 16)}, 0, 5) is True
+        assert r.maybe_match({"a": None}, 0, 5) is True   # unknown bounds
+        assert Range("a", 7, 7).maybe_match({"a": (0, 99)}, 0, 5) is False
+
+    def test_inset_and_bitmap_maybe_match(self):
+        s = InSet("a", [5, 50])
+        assert s.maybe_match({"a": (10, 40)}, 0, 5) is False
+        assert s.maybe_match({"a": (40, 60)}, 0, 5) is True
+        bm = Bitmap(np.array([0, 0, 1, 0], dtype=bool))
+        assert bm.maybe_match({}, 0, 2) is False
+        assert bm.maybe_match({}, 2, 2) is True
+
+    def test_evaluate(self):
+        batch = {"a": np.array([1, 5, 9]), "b": np.array([2, 2, 7])}
+        ids = np.arange(3)
+        e = col("a").between(2, 10) & (col("b") == 2)
+        assert list(e.evaluate(batch, ids)) == [False, True, False]
+        o = (col("a") == 1) | (col("b") == 7)
+        assert list(o.evaluate(batch, ids)) == [True, False, True]
+
+    def test_split_pushdown(self):
+        e = ((col("a") >= 1) & (col("a") < 9) & (col("b") >= 5)
+             & col("c").isin([1]) & Bitmap(np.ones(4, dtype=bool)))
+        ranges, bitmaps, residual = split_pushdown(e)
+        # the two half-ranges on `a` merged into one pushable range;
+        # the lone half-range on `b` stays residual with the IN term
+        assert ranges == {"a": Range("a", 1, 9)}
+        assert len(bitmaps) == 1
+        assert isinstance(residual, And) and len(residual.children) == 2
+        assert split_pushdown(None) == ({}, (), None)
+
+
+class TestPlanBuilder:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="cannot be empty"):
+            Plan.scan([])
+        with pytest.raises(ValueError, match="unknown aggregate op"):
+            Plan.scan().aggregate({"x": ("median", "a")})
+        with pytest.raises(ValueError, match="unknown join mode"):
+            Plan.scan().join(on="a", keys=[1], how="outer")
+        with pytest.raises(ValueError, match="terminal"):
+            Plan.scan().aggregate({"x": ("sum", "a")}).where(col("a") >= 0)
+        with pytest.raises(ValueError, match="must be unique"):
+            Plan.scan().join(on="k", build={"k": [1, 1], "v": [2, 3]},
+                             how="inner")
+
+    def test_unknown_column_raises_keyerror(self, backends):
+        _, sources, _ = backends
+        for source in sources.values():
+            with pytest.raises(KeyError, match="available: ts"):
+                Plan.scan(["nope"]).execute(source)
+            with pytest.raises(KeyError, match="unknown column"):
+                Plan.scan(["ts"]).where(col("zzz") >= 0).execute(source)
+
+    def test_static_explain(self):
+        plan = (Plan.scan(["id"]).where(col("ts").between(1, 9))
+                .aggregate({"s": ("sum", "val")}, group_by="id"))
+        text = plan.explain()
+        assert text.splitlines()[0].startswith("Aggregate[group_by=id")
+        assert "1 <= ts < 9" in text and "Scan[columns=(id)]" in text
+
+
+class TestBackendEquivalence:
+    """One logical plan, every backend, identical results."""
+
+    def test_row_plan_agrees_everywhere(self, backends):
+        columns, sources, _ = backends
+        ts = columns["ts"]
+        lo, hi = int(ts[2000]), int(ts[2400])
+        expr = col("ts").between(lo, hi) & col("status").isin([0, 2])
+        mask = ((ts >= lo) & (ts < hi)
+                & np.isin(columns["status"], [0, 2]))
+        plan = Plan.scan(["sensor_id", "reading"]).where(expr)
+        outputs = {name: plan.execute(source)
+                   for name, source in sources.items()}
+        for name, res in outputs.items():
+            assert np.array_equal(res.row_ids, np.flatnonzero(mask)), name
+            for column in ("sensor_id", "reading"):
+                assert np.array_equal(res.columns[column],
+                                      columns[column][mask]), name
+
+    def test_two_pred_groupby_matches_legacy(self, backends):
+        """The acceptance plan: 2-predicate filter + groupby-avg runs on
+        both backends and matches the legacy run_* path exactly."""
+        columns, sources, file = backends
+        ts = columns["ts"]
+        lo, hi = int(ts[1000]), int(ts[2500])
+        n_half = (int(columns["sensor_id"].max()) + 1) // 2
+        plan = (Plan.scan()
+                .where(col("ts").between(lo, hi)
+                       & col("sensor_id").between(0, n_half))
+                .aggregate({"avg": ("avg", "reading")},
+                           group_by="sensor_id"))
+        store_groups = plan.execute(sources["store"]).groups
+        parquet_groups = plan.execute(sources["parquet"]).groups
+        assert store_groups == parquet_groups
+        mask = ((ts >= lo) & (ts < hi) & (columns["sensor_id"] < n_half))
+        for key, row in store_groups.items():
+            sel = mask & (columns["sensor_id"] == key)
+            assert row["avg"] == pytest.approx(
+                float(columns["reading"][sel].mean()), rel=1e-12)
+        # 1-predicate version == the legacy engine helper, bit for bit
+        legacy_file = ParquetLikeFile.write(
+            {"ts": ts, "id": columns["sensor_id"],
+             "val": columns["reading"]}, "leco", row_group_size=1500,
+            partition_size=250)
+        legacy = run_filter_groupby_query(legacy_file, lo, hi)
+        one_pred = (Plan.scan()
+                    .where(col("ts").between(lo, hi))
+                    .aggregate({"avg": ("avg", "reading")},
+                               group_by="sensor_id"))
+        for name in ("store", "parquet"):
+            groups = one_pred.execute(sources[name]).groups
+            assert {k: v["avg"] for k, v in groups.items()} \
+                == legacy.answer, name
+
+    def test_explain_reports_pruning(self, backends):
+        columns, sources, _ = backends
+        ts = columns["ts"]
+        lo, hi = int(ts[3000]), int(ts[3030])  # ~0.5% selectivity
+        plan = Plan.scan(["reading"]).where(col("ts").between(lo, hi))
+        for name in ("store", "parquet"):
+            res = plan.execute(sources[name])
+            assert res.stats.granules_pruned > 0, name
+            text = res.explain()
+            assert f"{res.stats.granules_pruned} pruned" in text
+            assert "Filter[pushed:" in text and "Scan[" in text
+
+    def test_pushdown_modes_and_threads_agree(self, backends):
+        columns, sources, _ = backends
+        ts = columns["ts"]
+        expr = (col("ts").between(int(ts[500]), int(ts[4000]))
+                & (col("status") == 0))
+        plan = Plan.scan(["ts", "reading"]).where(expr)
+        reference = plan.execute(sources["store"])
+        variants = [
+            plan.execute(sources["store"], pushdown=False, prune=False),
+            plan.execute(sources["store"], prune=False),
+            plan.execute(sources["store"], threads=3),
+            plan.execute(sources["memory"], pushdown=False, prune=False),
+        ]
+        for res in variants:
+            assert np.array_equal(res.row_ids, reference.row_ids)
+            for column in ("ts", "reading"):
+                assert np.array_equal(res.columns[column],
+                                      reference.columns[column])
+
+
+class TestOperators:
+    def _source(self, n=4000, seed=9):
+        rng = np.random.default_rng(seed)
+        cols = {
+            "k": rng.integers(0, 12, n).astype(np.int64),
+            "v": rng.integers(-1000, 1000, n).astype(np.int64),
+        }
+        return cols, ArraySource(cols, morsel_rows=700)
+
+    def test_aggregate_ops_match_numpy(self):
+        cols, source = self._source()
+        res = (Plan.scan()
+               .aggregate({"s": ("sum", "v"), "n": ("count", "v"),
+                           "a": ("avg", "v"), "lo": ("min", "v"),
+                           "hi": ("max", "v")}, group_by="k")
+               .execute(source))
+        for key in np.unique(cols["k"]):
+            sel = cols["k"] == key
+            row = res.groups[int(key)]
+            assert row["s"] == int(cols["v"][sel].sum())
+            assert row["n"] == int(sel.sum())
+            assert row["a"] == pytest.approx(float(cols["v"][sel].mean()))
+            assert row["lo"] == int(cols["v"][sel].min())
+            assert row["hi"] == int(cols["v"][sel].max())
+
+    def test_global_aggregate(self):
+        cols, source = self._source()
+        res = (Plan.scan().where(col("v") >= 0)
+               .aggregate({"s": ("sum", "v"), "n": ("count", "v")})
+               .execute(source))
+        sel = cols["v"] >= 0
+        assert res.groups[None] == {"s": int(cols["v"][sel].sum()),
+                                    "n": int(sel.sum())}
+
+    def test_count_only_aggregate(self):
+        """Regression: a plan whose only aggregate is count (no value
+        column to materialise) must still count the surviving rows."""
+        cols, source = self._source()
+        res = (Plan.scan().aggregate({"n": ("count", "v")})
+               .execute(source))
+        assert res.groups[None] == {"n": len(cols["v"])}
+        filtered = (Plan.scan().where(col("v") >= 0)
+                    .aggregate({"n": ("count", "v")}).execute(source))
+        assert filtered.groups[None] == {"n": int((cols["v"] >= 0).sum())}
+        grouped = (Plan.scan().aggregate({"n": ("count", "v")},
+                                         group_by="k").execute(source))
+        for key in np.unique(cols["k"]):
+            assert grouped.groups[int(key)]["n"] == \
+                int((cols["k"] == key).sum())
+
+    def test_empty_selection_aggregate(self):
+        _, source = self._source()
+        res = (Plan.scan().where(col("v") >= 10_000)
+               .aggregate({"s": ("sum", "v")}, group_by="k")
+               .execute(source))
+        assert res.groups == {}
+
+    def test_semi_join(self):
+        cols, source = self._source()
+        keys = np.array([2, 5, 7], dtype=np.int64)
+        res = (Plan.scan(["k", "v"]).join(on="k", keys=keys)
+               .execute(source))
+        mask = np.isin(cols["k"], keys)
+        assert np.array_equal(res.row_ids, np.flatnonzero(mask))
+        assert np.array_equal(res.columns["v"], cols["v"][mask])
+
+    def test_inner_join_attaches_build_payload(self):
+        cols, source = self._source()
+        build = {"k": np.arange(6, dtype=np.int64),
+                 "label": np.arange(6, dtype=np.int64) * 11}
+        res = (Plan.scan(["k", "v"])
+               .join(on="k", build=build, how="inner")
+               .execute(source))
+        mask = cols["k"] < 6
+        assert np.array_equal(res.columns["k"], cols["k"][mask])
+        assert np.array_equal(res.columns["label"], cols["k"][mask] * 11)
+
+    def test_bitmap_prunes_granules(self):
+        cols, source = self._source()
+        bitmap = np.zeros(len(cols["k"]), dtype=bool)
+        bitmap[100:200] = True
+        res = (Plan.scan(["v"]).where(Bitmap(bitmap))
+               .aggregate({"s": ("sum", "v")}).execute(source))
+        assert res.groups[None]["s"] == int(cols["v"][100:200].sum())
+        assert res.stats.granules_pruned == len(source.granules()) - 1
+
+    def test_project_narrows_output(self):
+        cols, source = self._source()
+        res = (Plan.scan().where(col("k") == 3).project(["v"])
+               .execute(source))
+        assert list(res.columns) == ["v"]
+        assert np.array_equal(res.columns["v"], cols["v"][cols["k"] == 3])
+
+
+def _term(data, name, values):
+    """Draw one predicate term + its numpy reference mask."""
+    vmin, vmax = int(values.min()), int(values.max())
+    kind = data.draw(st.sampled_from(
+        ["range", "half_lo", "half_hi", "eq", "in"]))
+    a = data.draw(st.integers(vmin - 5, vmax + 5))
+    b = data.draw(st.integers(vmin - 5, vmax + 5))
+    lo, hi = min(a, b), max(a, b)
+    if kind == "range":
+        return col(name).between(lo, hi), (values >= lo) & (values < hi)
+    if kind == "half_lo":
+        return (col(name) >= lo), values >= lo
+    if kind == "half_hi":
+        return (col(name) < hi), values < hi
+    if kind == "eq":
+        return (col(name) == a), values == a
+    members = data.draw(st.lists(st.integers(vmin - 2, vmax + 2),
+                                 min_size=1, max_size=5))
+    return col(name).isin(members), np.isin(values, members)
+
+
+def _expression(data, columns):
+    """Random multi-predicate expression (AND of terms / OR pairs)."""
+    names = sorted(columns)
+    expr, mask = None, None
+    for _ in range(data.draw(st.integers(1, 3))):
+        name = data.draw(st.sampled_from(names))
+        term, term_mask = _term(data, name, columns[name])
+        if data.draw(st.booleans()):
+            other = data.draw(st.sampled_from(names))
+            alt, alt_mask = _term(data, other, columns[other])
+            term, term_mask = term | alt, term_mask | alt_mask
+        expr = term if expr is None else expr & term
+        mask = term_mask if mask is None else mask & term_mask
+    return expr, mask
+
+
+if HAVE_HYPOTHESIS:
+    class TestPushdownProperty:
+        """Pushdown execution == naive decode-all-then-filter, for random
+        multi-predicate expressions, on both backends, for every integer
+        codec in the registry (ParquetLikeFile hosts its engine encodings;
+        the store hosts all of them)."""
+
+        @pytest.mark.parametrize("codec", INT_CODECS)
+        @given(data=st.data())
+        @settings(max_examples=6, deadline=None)
+        def test_store_backend(self, codec, tmp_path_factory, data):
+            raw = data.draw(st.lists(
+                st.integers(-(1 << 40), 1 << 40), min_size=1,
+                max_size=300))
+            values = np.array(raw, dtype=np.int64)
+            if codecs.info(codec).requires_sorted:
+                values = np.sort(np.abs(values))
+            columns = {"v": values,
+                       "w": np.arange(len(values), dtype=np.int64)}
+            expr, mask = _expression(data, columns)
+            path = str(tmp_path_factory.mktemp("prop") / "t")
+            write_table(path, columns, codec=codec, shard_rows=64,
+                        chunk_rows=16)
+            with Table.open(path) as table:
+                self._check(StoreSource(table), columns, expr, mask)
+
+        @pytest.mark.parametrize("encoding", ENCODINGS)
+        @given(data=st.data())
+        @settings(max_examples=6, deadline=None)
+        def test_parquet_backend(self, encoding, data):
+            raw = data.draw(st.lists(
+                st.integers(-(1 << 40), 1 << 40), min_size=1,
+                max_size=300))
+            values = np.array(raw, dtype=np.int64)
+            columns = {"v": values,
+                       "w": np.arange(len(values), dtype=np.int64)}
+            expr, mask = _expression(data, columns)
+            file = ParquetLikeFile.write(columns, encoding,
+                                         row_group_size=64,
+                                         partition_size=16)
+            self._check(ParquetSource(file, io=IOModel()), columns,
+                        expr, mask)
+
+        @staticmethod
+        def _check(source, columns, expr, mask):
+            plan = Plan.scan(["v", "w"]).where(expr)
+            pushed = plan.execute(source)
+            naive = plan.execute(source, prune=False, pushdown=False)
+            expected = np.flatnonzero(mask)
+            assert np.array_equal(pushed.row_ids, expected)
+            assert np.array_equal(naive.row_ids, expected)
+            for name in ("v", "w"):
+                assert np.array_equal(pushed.columns[name],
+                                      columns[name][mask])
+                assert np.array_equal(naive.columns[name],
+                                      pushed.columns[name])
+
+
+class TestBenchExec:
+    def test_bench_exec_quick(self, tmp_path):
+        import importlib.util
+        import sys
+
+        bench_path = os.path.join(os.path.dirname(__file__), "..",
+                                  "benchmarks", "bench_exec.py")
+        spec = importlib.util.spec_from_file_location("bench_exec",
+                                                      bench_path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules["bench_exec"] = module
+        spec.loader.exec_module(module)
+        json_path = str(tmp_path / "BENCH_exec.json")
+        module.main(["--quick", "--json", json_path,
+                     "--dir", str(tmp_path / "bench_table")])
+        with open(json_path) as fh:
+            payload = json.load(fh)
+        assert all(payload["checks"].values()), payload["checks"]
+        selective = payload["backends"]["store"]["preds1_sel0.005"]
+        assert selective["pushdown_ms"] < selective["naive_ms"]
+        assert selective["granules_pruned"] > 0
+        assert "pruned" in payload["explain"]

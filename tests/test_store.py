@@ -99,6 +99,18 @@ class TestModelBounds:
         assert codecs.get("rans").encode(values).model_bounds() is None
         assert codecs.get("plain").encode(values).model_bounds() is None
 
+    def test_capability_flag_matches_behaviour(self):
+        """`supports_model_bounds` is the explicit contract the writer
+        and the exec planner read: flagged codecs deliver bounds, and
+        bounds are never consulted for unflagged ones."""
+        values = np.cumsum(np.ones(500, dtype=np.int64))
+        for name in INT_CODECS:
+            info = codecs.info(name)
+            seq = codecs.get(name).encode(values)
+            if info.supports_model_bounds:
+                lo, hi = seq.model_bounds()
+                assert lo <= 1 and hi >= 500, name
+
     def test_store_zone_map_sources(self, tmp_path):
         path = str(tmp_path / "t")
         values = np.cumsum(np.ones(1000, dtype=np.int64))
@@ -204,6 +216,36 @@ class TestWriter:
         spec_keys = [k for k in writer._codec_cache if
                      isinstance(k, CodecSpec)]
         assert {k.mode for k in spec_keys} == {"fix", "var"}
+
+    def test_schema_validated_at_construction(self, tmp_path):
+        with pytest.raises(ValueError, match="duplicate column name"):
+            TableWriter(str(tmp_path / "a"), schema=["x", "y", "x"])
+        with pytest.raises(ValueError, match="zero-column schema"):
+            TableWriter(str(tmp_path / "b"), schema=[])
+        with pytest.raises(ValueError, match="no codec configured"):
+            TableWriter(str(tmp_path / "c"), schema=["x", "y"],
+                        codec={"x": "leco"})
+        # a valid declared schema is enforced against the first batch
+        writer = TableWriter(str(tmp_path / "d"), schema=["x", "y"])
+        with pytest.raises(ValueError, match="do not match the schema"):
+            writer.append({"x": np.arange(5)})
+        writer.append({"x": np.arange(5), "y": np.arange(5)})
+        writer.close()
+        with Table.open(str(tmp_path / "d")) as table:
+            assert table.column_names == ("x", "y")
+
+    def test_close_without_rows_rejected(self, tmp_path):
+        writer = TableWriter(str(tmp_path / "t"), schema=["x"])
+        with pytest.raises(ValueError, match="ingested no rows"):
+            writer.close()
+
+    def test_unknown_scan_columns_raise_keyerror(self, tmp_path):
+        path, _ = sensor_table(tmp_path, n=1000, shard_rows=500)
+        with Table.open(path) as table:
+            with pytest.raises(KeyError, match="available: ts, sensor_id"):
+                table.scan(columns=["nope"])
+            with pytest.raises(KeyError, match="unknown predicate column"):
+                table.scan(where=("bogus", 0, 1))
 
     def test_shard_and_chunk_geometry(self, tmp_path):
         path = str(tmp_path / "t")
@@ -434,6 +476,30 @@ class TestCLI:
     def test_scan_rejects_bad_where(self):
         with pytest.raises(SystemExit):
             cli_main(["scan", "x", "--where", "notarange"])
+
+    def test_scan_unknown_column_one_line_error(self, tmp_path, capsys):
+        out = str(tmp_path / "cli_err")
+        cli_main(["ingest", "--out", out, "--rows", "1000",
+                  "--shard-rows", "500", "--chunk-rows", "100"])
+        capsys.readouterr()
+        assert cli_main(["scan", out, "--columns", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one clean line, no traceback
+        assert "unknown column" in err and "available: ts" in err
+        assert cli_main(["scan", out, "--where", "bogus:0:9"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err and "available: ts" in err
+
+    def test_scan_explain_flag(self, tmp_path, capsys):
+        out = str(tmp_path / "cli_explain")
+        cli_main(["ingest", "--out", out, "--rows", "4000",
+                  "--shard-rows", "1000", "--chunk-rows", "200"])
+        capsys.readouterr()
+        assert cli_main(["scan", out, "--columns", "reading",
+                         "--where", "ts:100:900", "--explain"]) == 0
+        text = capsys.readouterr().out
+        assert "Filter[pushed:" in text and "Scan[store:" in text
+        assert "granules:" in text
 
 
 class TestEndToEnd:
