@@ -16,6 +16,8 @@ Public surface:
 * :mod:`repro.engine` — Arrow/Parquet-like columnar engine (§5.1);
 * :mod:`repro.exec` — the unified planner/operator layer (plans run
   unchanged over the engine, the store, or in-memory arrays);
+* :mod:`repro.mutate` — WAL-backed mutable tables over the store
+  (snapshot-isolated reads, deletion vectors, background compaction);
 * :mod:`repro.kvstore` — RocksDB-like LSM store (§5.2);
 * :mod:`repro.datasets` — every dataset family from the evaluation.
 """

@@ -16,7 +16,12 @@ from repro.datasets.strings import (
     gen_word,
     load_strings,
 )
-from repro.datasets.store_fixtures import ingest_fixture, sensor_fixture
+from repro.datasets.store_fixtures import (
+    apply_churn_op,
+    churn_fixture,
+    ingest_fixture,
+    sensor_fixture,
+)
 from repro.datasets.tabular import TABLE_NAMES, Table, load_table
 
 __all__ = [
@@ -30,6 +35,8 @@ __all__ = [
     "Table",
     "load_table",
     "TABLE_NAMES",
+    "apply_churn_op",
+    "churn_fixture",
     "ingest_fixture",
     "sensor_fixture",
     "load_strings",

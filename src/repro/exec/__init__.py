@@ -43,13 +43,19 @@ from repro.exec.expr import (
 )
 from repro.exec.plan import AGG_OPS, Plan
 from repro.exec.run import ExecResult, ExecStats, execute
-from repro.exec.source import ArraySource, ColumnSource, Granule
+from repro.exec.source import (
+    ArraySource,
+    ChainSource,
+    ColumnSource,
+    Granule,
+)
 
 __all__ = [
     "AGG_OPS",
     "And",
     "ArraySource",
     "Bitmap",
+    "ChainSource",
     "Col",
     "ColumnSource",
     "ExecResult",

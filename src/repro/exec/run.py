@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exec.expr import split_pushdown
+from repro.exec.expr import And, split_pushdown
 from repro.exec.plan import Aggregate, HashJoin, Plan
 
 #: cap on auto-selected executor threads
@@ -59,8 +59,11 @@ class ExecStats:
     bytes_scanned: int = 0     # stored bytes of materialized chunks
     bytes_read: int = 0        # stored bytes actually read (cache misses)
     reads: int = 0             # read operations charged
-    cache_hits: int = 0
+    cache_hits: int = 0        # chunk loads served from the LRU cache
+    cache_misses: int = 0      # chunk loads the cache could not serve
     rows_scanned: int = 0      # rows surviving the filter
+    rows_masked: int = 0       # rows positional bitmaps (e.g. deletion
+    #                            vectors) suppressed in scanned granules
     cpu_filter_s: float = 0.0
     cpu_gather_s: float = 0.0
     cpu_aggregate_s: float = 0.0
@@ -76,7 +79,9 @@ class ExecStats:
         self.bytes_read += other.bytes_read
         self.reads += other.reads
         self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
         self.rows_scanned += other.rows_scanned
+        self.rows_masked += other.rows_masked
         self.cpu_filter_s += other.cpu_filter_s
         self.cpu_gather_s += other.cpu_gather_s
         self.cpu_aggregate_s += other.cpu_aggregate_s
@@ -106,6 +111,8 @@ class ExecResult:
     pushed_desc: tuple = ()
     residual_desc: str | None = None
     pushdown: bool = True
+    implicit_desc: str | None = None  # source-implied term (deletion
+    #                                   vectors), ANDed into the filter
 
     @property
     def n_rows(self) -> int:
@@ -127,12 +134,13 @@ class ExecResult:
                 lines.append(f"Project[{', '.join(node.columns)}]")
             else:  # Aggregate / HashJoin: reuse the static rendering
                 lines.append(Plan((node,)).describe_nodes()[0])
-        # one combined filter line sits directly above the scan
-        expr = self.plan.filter_expr()
-        if expr is not None:
+        # one combined filter line sits directly above the scan; the
+        # source's implicit term (deletion vectors) renders here too even
+        # when the plan itself carries no Filter node
+        if self.plan.filter_expr() is not None or self.implicit_desc:
             parts = []
             if not self.pushdown:
-                parts.append(f"naive: {expr!r}")
+                parts.append(f"naive: {self.residual_desc}")
             else:
                 if self.pushed_desc:
                     parts.append("pushed: "
@@ -144,9 +152,11 @@ class ExecResult:
                          for i, line in enumerate(lines))
         pruned = (f"granules: {stats.granules_total} total, "
                   f"{stats.granules_pruned} pruned; "
-                  f"chunks: {stats.chunks_scanned} scanned, "
-                  f"{stats.cache_hits} cache hits")
-        rows = (f"rows: {stats.rows_scanned} matched; "
+                  f"chunks: {stats.chunks_scanned} scanned; "
+                  f"cache: {stats.cache_hits} hits, "
+                  f"{stats.cache_misses} misses")
+        rows = (f"rows: {stats.rows_scanned} matched, "
+                f"{stats.rows_masked} masked; "
                 f"bytes: {stats.bytes_scanned} scanned, "
                 f"{stats.bytes_read} read")
         cpu = (f"cpu: filter {stats.cpu_filter_s * 1e3:.2f} ms, "
@@ -312,6 +322,14 @@ def execute(plan: Plan, source, threads: int | None = None,
     start = time.perf_counter()
     names = tuple(source.column_names)
     expr = plan.filter_expr()
+    # sources may imply a filter of their own — a mutated table's
+    # deletion vectors arrive as a positional Bitmap term, applied
+    # through the ordinary expression machinery (no dedicated operator)
+    implicit = getattr(source, "implicit_filter", None)
+    implicit_expr = implicit() if callable(implicit) else None
+    if implicit_expr is not None:
+        expr = implicit_expr if expr is None \
+            else And.of(expr, implicit_expr)
     terminal = plan.terminal()
     output_cols = plan.output_columns(names)
     pred_cols = tuple(sorted(expr.columns())) if expr is not None else ()
@@ -368,6 +386,8 @@ def execute(plan: Plan, source, threads: int | None = None,
                 local = term.bitmap[granule.row_start:
                                     granule.row_start + n]
                 mask = local.copy() if mask is None else mask & local
+            if bitmaps:
+                st.rows_masked += n - int(mask.sum())
             for column, rng in ranges.items():
                 if mask is not None and not mask.any():
                     break
@@ -480,4 +500,6 @@ def execute(plan: Plan, source, threads: int | None = None,
         pushed_desc=tuple(repr(r) for r in ranges.values())
         + tuple(repr(b) for b in bitmaps),
         residual_desc=repr(residual) if residual is not None else None,
-        pushdown=pushdown)
+        pushdown=pushdown,
+        implicit_desc=repr(implicit_expr) if implicit_expr is not None
+        else None)

@@ -16,6 +16,14 @@ an in-memory slice) and answers three calls per granule:
   concurrently (sources with unlocked accounting state say ``False``
   and the executor stays on one thread).
 
+A source may additionally implement ``implicit_filter()`` returning a
+positional :class:`~repro.exec.expr.Bitmap` (or ``None``): the executor
+ANDs it into every plan's predicate.  This is how a mutated store
+table's deletion vectors suppress dead rows through the ordinary
+expression machinery — all-dead granules prune like any bitmap, masked
+rows are charged to ``ExecStats.rows_masked``, and no operator had to
+learn about deletes.
+
 Implementations in the tree:
 
 * :class:`repro.engine.parquet.ParquetSource` — row-grouped in-memory
@@ -74,6 +82,100 @@ class ColumnSource(ABC):
     def describe(self) -> str:
         """One-line label for ``explain()`` output."""
         return type(self).__name__
+
+    def implicit_filter(self):
+        """Source-implied positional ``Bitmap`` term, or ``None``."""
+        return None
+
+
+class ChainSource(ColumnSource):
+    """Row-wise concatenation of sources sharing one schema.
+
+    The mutation layer's read-your-writes view: the published snapshot
+    (a ``StoreSource``) chained with the in-memory memtable tail (an
+    ``ArraySource``).  Granules are the children's granules re-offset to
+    global row coordinates; children's implicit bitmap filters — and an
+    optional caller-supplied global ``live_mask`` (pending, uncommitted
+    deletes) — compose into one implicit :class:`Bitmap` term.
+    """
+
+    def __init__(self, sources, live_mask=None, name: str | None = None):
+        sources = tuple(sources)
+        if not sources:
+            raise ValueError("ChainSource needs at least one source")
+        names = tuple(sources[0].column_names)
+        for src in sources[1:]:
+            if tuple(src.column_names) != names:
+                raise ValueError(
+                    f"chained source {src.describe()!r} columns "
+                    f"{tuple(src.column_names)} do not match {names}")
+        self._sources = sources
+        self._names = names
+        self._name = name
+        self.parallel_safe = all(
+            getattr(s, "parallel_safe", True) for s in sources)
+        self._offsets = []
+        self._granules: list[Granule] = []
+        self._children: list[tuple[ColumnSource, Granule]] = []
+        offset = 0
+        for src in sources:
+            self._offsets.append(offset)
+            for g in src.granules():
+                self._granules.append(Granule(
+                    len(self._granules), offset + g.row_start, g.n_rows))
+                self._children.append((src, g))
+            offset += src.n_rows
+        self._n = offset
+        if live_mask is not None:
+            live_mask = np.asarray(live_mask, dtype=bool)
+            if len(live_mask) != self._n:
+                raise ValueError(
+                    f"live mask covers {len(live_mask)} rows, chain "
+                    f"holds {self._n}")
+        self._live_mask = live_mask
+
+    @property
+    def column_names(self) -> tuple:
+        return self._names
+
+    @property
+    def n_rows(self) -> int:
+        return self._n
+
+    def granules(self) -> tuple:
+        return tuple(self._granules)
+
+    def bounds(self, granule: Granule, column: str):
+        src, child = self._children[granule.index]
+        return src.bounds(child, column)
+
+    def load(self, granule: Granule, column: str, stats):
+        src, child = self._children[granule.index]
+        return src.load(child, column, stats)
+
+    def implicit_filter(self):
+        masks = []
+        for src, offset in zip(self._sources, self._offsets):
+            # same optional-hook probe the executor uses: duck-typed
+            # sources need not implement the method at all
+            hook = getattr(src, "implicit_filter", None)
+            term = hook() if callable(hook) else None
+            if term is not None:
+                masks.append((offset, src.n_rows, term.bitmap))
+        if not masks and self._live_mask is None:
+            return None
+        from repro.exec.expr import Bitmap
+
+        combined = np.ones(self._n, dtype=bool) \
+            if self._live_mask is None else self._live_mask.copy()
+        for offset, n, bitmap in masks:
+            combined[offset: offset + n] &= bitmap
+        return Bitmap(combined)
+
+    def describe(self) -> str:
+        if self._name:
+            return self._name
+        return " + ".join(s.describe() for s in self._sources)
 
 
 class _SliceView:

@@ -1,0 +1,68 @@
+"""``repro.mutate`` — WAL-backed mutable tables over the columnar store.
+
+The store's learned-compression shards are write-once by design; this
+package makes tables *behave* mutable anyway, the LSM way::
+
+    from repro.mutate import MutableTable
+    from repro.exec import col
+
+    with MutableTable.create("t", schema=("ts", "val")) as table:
+        table.append({"ts": ts, "val": val})     # WAL first, memtable next
+        table.delete(col("val") < 0)             # predicate delete
+        table.update("ts", 1234, {"val": 99})    # update-by-key
+        res = table.scan(where=col("ts").between(lo, hi))  # your writes show
+        g = table.flush()                        # snapshot: generation g
+        table.compact()                          # fold deletion vectors away
+
+    Table.open("t", version=g)                   # time travel, for free
+
+Append/update/delete hit a checksummed write-ahead log before the
+in-memory memtable, so reopening replays exactly the acknowledged
+operations and a torn WAL tail loses only the unacknowledged suffix.
+``flush`` encodes the memtable through the ordinary codec registry into
+new shards, turns accumulated deletes into per-shard deletion-vector
+bitmap sidecars, and commits by atomically publishing the next
+``_table.<gen>.json`` and swapping the ``CURRENT`` pointer — readers
+are snapshot-isolated and every published generation stays openable.
+The executor applies deletion vectors as a positional ``Bitmap`` filter
+term (``explain()`` reports the masked rows); the compactor — inline or
+the :class:`BackgroundCompactor` thread — rewrites shards whose live
+fraction drops below a threshold and re-encodes per chunk with
+``"auto"``.
+
+``python -m repro.store`` grew the matching ``append`` / ``delete`` /
+``compact`` / ``versions`` subcommands.
+"""
+
+from repro.mutate.compact import (
+    DEFAULT_THRESHOLD,
+    BackgroundCompactor,
+    compact_table,
+    live_fractions,
+)
+from repro.mutate.memtable import MemTable, validate_batch
+from repro.mutate.table import MutableTable
+from repro.mutate.wal import (
+    WriteAheadLog,
+    expr_from_doc,
+    expr_to_doc,
+    recover,
+    replay,
+    wal_file_name,
+)
+
+__all__ = [
+    "BackgroundCompactor",
+    "DEFAULT_THRESHOLD",
+    "MemTable",
+    "MutableTable",
+    "WriteAheadLog",
+    "compact_table",
+    "expr_from_doc",
+    "expr_to_doc",
+    "live_fractions",
+    "recover",
+    "replay",
+    "validate_batch",
+    "wal_file_name",
+]

@@ -1,0 +1,130 @@
+"""In-memory mutable state between two flushes of a mutable table.
+
+The memtable holds two things, mirroring exactly what a flush commits:
+
+* the **tail** — rows appended since the last published generation,
+  plain int64 numpy columns that :class:`~repro.store.TableWriter`
+  encodes into ordinary shards at flush time;
+* the **pending deletion mask** — a boolean mask over the *base
+  snapshot's physical rows* accumulating delete/update victims, folded
+  into per-shard deletion-vector sidecars at flush time.
+
+Deletes against tail rows are applied eagerly (the rows simply leave
+the arrays); only deletes against already-published rows need the mask.
+All validation of incoming batches (schema match, integer dtypes, int64
+range, equal lengths) happens here so the WAL never records a batch the
+memtable would reject.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def validate_batch(schema: tuple[str, ...],
+                   batch: dict) -> dict[str, np.ndarray]:
+    """Check one append batch and return it as int64 arrays in schema
+    order.  Rejections leave no partial state anywhere (the caller logs
+    to the WAL only after this passes)."""
+    if not batch:
+        raise ValueError("empty batch")
+    if set(batch) != set(schema):
+        raise ValueError(
+            f"batch columns {tuple(sorted(batch))} do not match the "
+            f"schema {schema}")
+    staged: dict[str, np.ndarray] = {}
+    n = None
+    for name in schema:
+        col = np.asarray(batch[name])
+        if col.dtype.kind not in "iu":
+            raise TypeError(
+                f"column {name!r}: integer input required, got "
+                f"{col.dtype}")
+        if col.dtype.kind == "u" and col.size and \
+                int(col.max()) > np.iinfo(np.int64).max:
+            raise ValueError(
+                f"column {name!r}: value {int(col.max())} exceeds the "
+                "int64 range the store encodes")
+        col = np.atleast_1d(col.astype(np.int64))
+        if n is None:
+            n = len(col)
+        elif len(col) != n:
+            raise ValueError(f"column {name!r} length mismatch")
+        staged[name] = col
+    if n == 0:
+        raise ValueError("empty batch")
+    return staged
+
+
+class MemTable:
+    """Tail rows + pending base deletions since the last flush."""
+
+    def __init__(self, schema: tuple[str, ...], base_rows: int):
+        self.schema = tuple(schema)
+        self.base_deleted = np.zeros(base_rows, dtype=bool)
+        self._chunks: dict[str, list[np.ndarray]] = \
+            {name: [] for name in self.schema}
+        self._n = 0
+        self._cache: dict[str, np.ndarray] | None = None
+
+    @property
+    def n_rows(self) -> int:
+        """Tail rows currently buffered."""
+        return self._n
+
+    @property
+    def pending_deletes(self) -> int:
+        """Base-snapshot rows marked deleted but not yet flushed."""
+        return int(self.base_deleted.sum())
+
+    @property
+    def dirty(self) -> bool:
+        """Anything to flush?"""
+        return self._n > 0 or bool(self.base_deleted.any())
+
+    # ------------------------------------------------------------- tail
+    def append(self, staged: dict[str, np.ndarray]) -> None:
+        """Buffer one already-validated batch (see :func:`validate_batch`)."""
+        for name in self.schema:
+            self._chunks[name].append(staged[name])
+        self._n += len(staged[self.schema[0]])
+        self._cache = None
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """Consolidated tail columns (cached until the next mutation)."""
+        if self._cache is None:
+            self._cache = {
+                name: np.concatenate(parts) if parts
+                else np.empty(0, dtype=np.int64)
+                for name, parts in self._chunks.items()
+            }
+        return self._cache
+
+    def drop_tail_rows(self, mask: np.ndarray) -> int:
+        """Remove tail rows where ``mask`` is True; returns the count."""
+        dropped = int(mask.sum())
+        if dropped:
+            keep = ~mask
+            cols = self.columns()
+            self._chunks = {name: [cols[name][keep]]
+                            for name in self.schema}
+            self._n -= dropped
+            self._cache = None
+        return dropped
+
+    def take_tail_rows(self, mask: np.ndarray) -> dict[str, np.ndarray]:
+        """Remove and return tail rows where ``mask`` is True (order
+        preserved) — the update-by-key extraction."""
+        cols = self.columns()
+        taken = {name: cols[name][mask] for name in self.schema}
+        self.drop_tail_rows(mask)
+        return taken
+
+    # ---------------------------------------------------- base deletions
+    def mark_base_deleted(self, row_ids: np.ndarray) -> int:
+        """Mark base-snapshot physical rows deleted; returns how many
+        were newly marked."""
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        before = int(self.base_deleted.sum())
+        self.base_deleted[row_ids] = True
+        return int(self.base_deleted.sum()) - before

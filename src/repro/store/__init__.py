@@ -15,7 +15,13 @@ keep revived chunks in a bounded LRU cache::
         res = table.scan(columns=["id", "val"], where=("ts", lo, hi))
         res.columns["val"], res.row_ids, res.stats.bytes_read
 
-``python -m repro.store`` exposes ``ingest`` / ``scan`` / ``info``.
+Tables mutated through :mod:`repro.mutate` carry a manifest generation
+chain: ``Table.open(path, version=g)`` pins any published snapshot
+(time travel), and deletion-vector sidecars mask deleted rows through
+the executor's positional ``Bitmap`` machinery.
+
+``python -m repro.store`` exposes ``ingest`` / ``scan`` / ``info`` plus
+the mutation cycle ``append`` / ``delete`` / ``compact`` / ``versions``.
 """
 
 from repro.store.cache import ChunkCache

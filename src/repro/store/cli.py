@@ -1,17 +1,28 @@
 """Command-line interface of the store: ``python -m repro.store``.
 
-Three subcommands::
+Read-side subcommands::
 
     python -m repro.store ingest --out DIR --fixture sensors --rows 100000
     python -m repro.store info DIR [--chunks]
     python -m repro.store scan DIR --columns id,val --where ts:1000:2000
+
+and the mutation layer (:mod:`repro.mutate`)::
+
+    python -m repro.store append DIR --fixture sensors --rows 10000
+    python -m repro.store delete DIR --where ts:1000:2000
+    python -m repro.store compact DIR [--threshold 0.5]
+    python -m repro.store versions DIR
 
 ``ingest`` materialises one of the named dataset fixtures (any table from
 ``repro.datasets.load_table`` or the ``sensors`` stream) into a table
 directory; ``scan`` builds a :class:`repro.exec.Plan` over the unified
 execution layer, runs it morsel-parallel with pruning + pushdown, and
 prints the work accounting next to the first result rows (pass
-``--explain`` for the annotated plan).  Unknown projection or predicate
+``--explain`` for the annotated plan).  ``append``/``delete`` adopt the
+table into the generation chain, log through the WAL, and flush a new
+snapshot (``--no-flush`` leaves the mutation buffered for a later
+commit); ``versions`` lists every published generation a reader can
+time-travel to (``scan --version G``).  Unknown projection or predicate
 columns exit with a clean one-line error naming the available columns.
 """
 
@@ -60,8 +71,8 @@ def _cmd_info(args) -> int:
         if args.chunks:
             for idx, shard in enumerate(table.shards):
                 print(f"shard {idx} ({shard.path}): "
-                      f"rows [{shard.footer.row_start}, "
-                      f"{shard.footer.row_start + shard.footer.n_rows})")
+                      f"rows [{shard.row_start}, "
+                      f"{shard.row_start + shard.footer.n_rows})")
                 for c in shard.footer.chunks:
                     print(f"  {c.column:>16} rows {c.row_start:>8}+"
                           f"{c.n_rows:<7} {c.codec:>6} {c.nbytes:>8} B  "
@@ -77,8 +88,83 @@ def _parse_where(text: str) -> tuple[str, int, int]:
     return parts[0], int(parts[1]), int(parts[2])
 
 
+def _cmd_append(args) -> int:
+    from repro.datasets.store_fixtures import ingest_fixture
+    from repro.mutate import MutableTable
+
+    columns = ingest_fixture(args.fixture, n=args.rows, seed=args.seed)
+    with MutableTable.open(args.table) as table:
+        appended = table.append(columns)
+        print(f"appended {appended} rows "
+              f"({table.pending_rows} buffered in the memtable)")
+        if not args.no_flush:
+            generation = table.flush()
+            print(f"flushed: generation {generation}, "
+                  f"{table.n_rows} live rows")
+    return 0
+
+
+def _cmd_delete(args) -> int:
+    from repro.mutate import MutableTable
+
+    with MutableTable.open(args.table) as table:
+        column, lo, hi = args.where
+        if column not in table.schema:
+            print(f"error: unknown predicate column {column!r}; "
+                  f"available: {', '.join(table.schema)}",
+                  file=sys.stderr)
+            return 2
+        deleted = table.delete((column, lo, hi))
+        print(f"deleted {deleted} rows "
+              f"({table.pending_deletes} pending against the snapshot)")
+        if not args.no_flush:
+            generation = table.flush()
+            print(f"flushed: generation {generation}, "
+                  f"{table.n_rows} live rows")
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    from repro.mutate import MutableTable, live_fractions
+
+    with MutableTable.open(args.table) as table:
+        with table.snapshot() as snap:
+            before = snap.info()
+        generation = table.compact(threshold=args.threshold)
+        if generation is None:
+            print(f"nothing to compact: every shard is above "
+                  f"{args.threshold:.0%} live")
+            return 0
+        with table.snapshot() as snap:
+            after = snap.info()
+            fractions = live_fractions(snap)
+        print(f"compacted -> generation {generation}: "
+              f"{before['n_rows']} physical rows -> {after['n_rows']} "
+              f"({after['live_rows']} live), "
+              f"{before['stored_bytes']} B -> {after['stored_bytes']} B")
+        print("  shard live fractions: "
+              + ", ".join(f"{f:.0%}" for f in fractions))
+    return 0
+
+
+def _cmd_versions(args) -> int:
+    versions = Table.versions(args.table)
+    if not versions:
+        print(f"{args.table}: no published generations "
+              "(immutable table; mutate it once to start the chain)")
+        return 0
+    for generation in versions:
+        with Table.open(args.table, version=generation) as table:
+            mark = "*" if generation == versions[-1] else " "
+            print(f"{mark} generation {generation:>4}: "
+                  f"{table.live_rows:>10} live / {table.n_rows:>10} "
+                  f"physical rows, {len(table.shards):>3} shards, "
+                  f"{table.stored_bytes():>10} B")
+    return 0
+
+
 def _cmd_scan(args) -> int:
-    with Table.open(args.table) as table:
+    with Table.open(args.table, version=args.version) as table:
         columns = args.columns.split(",") if args.columns else None
         # validate names here so a typo is one clean line, while
         # unexpected internal errors keep their tracebacks
@@ -101,12 +187,13 @@ def _cmd_scan(args) -> int:
         stats = result.stats
         rate = result.n_rows / max(stats.wall_s, 1e-9)
         print(f"{result.n_rows} rows in {stats.wall_s * 1e3:.1f} ms "
-              f"({rate:,.0f} rows/s)")
+              f"({rate:,.0f} rows/s, {stats.rows_masked} deleted rows "
+              "masked)")
         print(f"  chunks: {stats.granules_pruned} pruned / "
               f"{stats.chunks_scanned} scanned  "
               f"bytes read: {stats.bytes_read}  "
-              f"(scanned: {stats.bytes_scanned}, "
-              f"cache hits: {stats.cache_hits})")
+              f"(scanned: {stats.bytes_scanned}, cache: "
+              f"{stats.cache_hits} hits, {stats.cache_misses} misses)")
         if args.explain:
             print(result.explain())
         names = list(result.columns)
@@ -153,6 +240,8 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--where", type=_parse_where, default=None,
                       metavar="COL:LO:HI",
                       help="range predicate lo <= col < hi")
+    scan.add_argument("--version", type=int, default=None,
+                      help="time-travel to a published generation")
     scan.add_argument("--threads", type=int, default=None)
     scan.add_argument("--no-prune", action="store_true",
                       help="disable zone-map pruning (baseline)")
@@ -161,6 +250,38 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--limit", type=int, default=5,
                       help="result rows to print")
     scan.set_defaults(func=_cmd_scan)
+
+    append = sub.add_parser(
+        "append", help="append fixture rows through the mutation layer")
+    append.add_argument("table", help="table directory")
+    append.add_argument("--fixture", default="sensors")
+    append.add_argument("--rows", type=int, default=10_000)
+    append.add_argument("--seed", type=int, default=0)
+    append.add_argument("--no-flush", action="store_true",
+                        help="leave the batch buffered (WAL + memtable)")
+    append.set_defaults(func=_cmd_append)
+
+    delete = sub.add_parser(
+        "delete", help="delete rows matching a range predicate")
+    delete.add_argument("table", help="table directory")
+    delete.add_argument("--where", type=_parse_where, required=True,
+                        metavar="COL:LO:HI",
+                        help="delete rows with lo <= col < hi")
+    delete.add_argument("--no-flush", action="store_true",
+                        help="leave the deletes pending (WAL + memtable)")
+    delete.set_defaults(func=_cmd_delete)
+
+    compact = sub.add_parser(
+        "compact", help="rewrite shards below a live-row threshold")
+    compact.add_argument("table", help="table directory")
+    compact.add_argument("--threshold", type=float, default=0.5,
+                         help="rewrite shards below this live fraction")
+    compact.set_defaults(func=_cmd_compact)
+
+    versions = sub.add_parser(
+        "versions", help="list published (time-travelable) generations")
+    versions.add_argument("table", help="table directory")
+    versions.set_defaults(func=_cmd_versions)
     return parser
 
 

@@ -41,7 +41,9 @@ class ScanStats:
     bytes_scanned: int = 0    # stored bytes of materialized chunks
     bytes_read: int = 0       # stored bytes actually read (cache misses)
     cache_hits: int = 0
+    cache_misses: int = 0
     rows_scanned: int = 0     # rows surviving the predicate
+    rows_masked: int = 0      # rows deletion vectors suppressed
     wall_s: float = 0.0
 
     def merge(self, other: "ScanStats") -> None:
@@ -51,7 +53,9 @@ class ScanStats:
         self.bytes_scanned += other.bytes_scanned
         self.bytes_read += other.bytes_read
         self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
         self.rows_scanned += other.rows_scanned
+        self.rows_masked += other.rows_masked
 
 
 @dataclass
@@ -80,11 +84,21 @@ class StoreSource(ColumnSource):
         for shard_idx, shard in enumerate(table.shards):
             for chunk_idx, meta in enumerate(shard.by_column[first]):
                 granules.append(Granule(
-                    len(granules), shard.footer.row_start + meta.row_start,
+                    len(granules), shard.row_start + meta.row_start,
                     meta.n_rows))
                 chunks.append((shard_idx, chunk_idx))
         self._granules = tuple(granules)
         self._chunks = tuple(chunks)
+
+    def implicit_filter(self):
+        """The snapshot's deletion vectors as one positional Bitmap term
+        (``None`` when every physical row is live)."""
+        mask = self.table.live_mask()
+        if mask is None:
+            return None
+        from repro.exec.expr import Bitmap
+
+        return Bitmap(mask)
 
     @property
     def column_names(self) -> tuple:
@@ -128,6 +142,7 @@ class StoreSource(ColumnSource):
             if hit:
                 stats.cache_hits += 1
             else:
+                stats.cache_misses += 1
                 stats.bytes_read += meta.nbytes
                 stats.reads += 1
         return seq
@@ -157,7 +172,9 @@ def run_scan(table, projection: tuple[str, ...],
         bytes_scanned=res.stats.bytes_scanned,
         bytes_read=res.stats.bytes_read,
         cache_hits=res.stats.cache_hits,
+        cache_misses=res.stats.cache_misses,
         rows_scanned=res.stats.rows_scanned,
+        rows_masked=res.stats.rows_masked,
         wall_s=res.stats.wall_s,
     )
     return ScanResult(columns=res.columns, row_ids=res.row_ids,

@@ -1,12 +1,21 @@
 """On-disk layout of the persistent table store (shards + footer catalog).
 
-A table is a directory: a ``_table.json`` manifest naming the schema and
-the shard files, plus one ``shard-NNNNN.rps`` file per row-group shard::
+A table is a directory: a manifest naming the schema and the shard
+files, plus one ``shard-NNNNN.rps`` file per row-group shard.  Immutable
+tables written by :class:`~repro.store.writer.TableWriter` keep the
+original single-manifest layout; tables that have been mutated through
+:mod:`repro.mutate` carry a *generation chain* — every commit publishes
+a fresh ``_table.<gen>.json`` and atomically swaps the ``CURRENT``
+pointer, so a reader always opens one consistent snapshot and older
+generations stay readable for time travel::
 
     table_dir/
       _table.json          manifest: schema, shard list, writer geometry
+      CURRENT              (mutable tables) text file naming the live gen
+      _table.000001.json   one immutable manifest per committed generation
       shard-00000.rps
       shard-00001.rps
+      shard-00001.rps.000002.dv   deletion-vector sidecar (bit = deleted)
 
 Each shard file is self-describing — concatenated codec envelopes
 (:mod:`repro.codecs.envelope`, so any chunk revives via
@@ -30,16 +39,26 @@ from __future__ import annotations
 
 import json
 import os
+import re
+import zlib
 from dataclasses import asdict, dataclass, field
+
+import numpy as np
 
 #: shard file leading magic
 SHARD_MAGIC = b"RPSH"
 #: shard file trailing magic (after the footer length)
 FOOTER_MAGIC = b"RPSF"
+#: deletion-vector sidecar magic
+DV_MAGIC = b"RPDV"
 #: current shard layout version
 VERSION = 1
+#: deletion-vector sidecar layout version
+DV_VERSION = 1
 #: manifest file name inside a table directory
 MANIFEST_NAME = "_table.json"
+#: generation pointer file name (mutable tables)
+CURRENT_NAME = "CURRENT"
 #: manifest format identifier
 MANIFEST_FORMAT = "repro.store"
 
@@ -47,6 +66,10 @@ MANIFEST_FORMAT = "repro.store"
 HEADER_LEN = len(SHARD_MAGIC) + 1
 #: trailing bytes after the footer: 8-byte LE length + magic
 TRAILER_LEN = 8 + len(FOOTER_MAGIC)
+#: dv sidecar header: magic + version + 8-byte LE row count + 4-byte crc
+DV_HEADER_LEN = len(DV_MAGIC) + 1 + 8 + 4
+
+GEN_MANIFEST_RE = re.compile(r"_table\.(\d{6})\.json$")
 
 
 @dataclass(frozen=True)
@@ -99,7 +122,9 @@ def unpack_footer(blob: bytes) -> ShardFooter:
             f"not a repro store shard (magic {bytes(blob[:4])!r}, "
             f"expected {SHARD_MAGIC!r})")
     if blob[4] > VERSION:
-        raise ValueError(f"unsupported shard version {blob[4]}")
+        raise ValueError(
+            f"shard format version {blob[4]} is newer than the supported "
+            f"version {VERSION}; upgrade the reader")
     if blob[-4:] != FOOTER_MAGIC:
         raise ValueError("shard trailer magic missing (truncated file?)")
     body_len = int.from_bytes(blob[-TRAILER_LEN:-4], "little")
@@ -118,24 +143,72 @@ def unpack_footer(blob: bytes) -> ShardFooter:
 
 @dataclass(frozen=True)
 class Manifest:
-    """The table-level catalog (``_table.json``)."""
+    """The table-level catalog (one immutable generation of it).
+
+    ``shards`` entries are ``{"file", "row_start", "n_rows"}`` dicts; a
+    mutated table's entries may additionally carry ``"dv"`` — the name
+    of the shard's deletion-vector sidecar for this generation — and
+    ``"live_rows"`` (rows the vector leaves visible).
+    """
 
     columns: tuple[str, ...]
     n_rows: int
     shard_rows: int
     chunk_rows: int
     codecs: dict[str, str] = field(default_factory=dict)  # requested, per col
-    shards: tuple[dict, ...] = ()  # {"file", "row_start", "n_rows"}
+    shards: tuple[dict, ...] = ()
+    generation: int = 0
+
+    @property
+    def live_rows(self) -> int:
+        """Rows visible after deletion vectors (physical when none)."""
+        return sum(entry.get("live_rows", entry["n_rows"])
+                   for entry in self.shards)
 
 
-def shard_file_name(index: int) -> str:
-    return f"shard-{index:05d}.rps"
+def shard_file_name(index: int, generation: int | None = None) -> str:
+    """Shard file name; generation-suffixed names never collide across
+    the commits of a mutable table's manifest chain."""
+    if generation is None:
+        return f"shard-{index:05d}.rps"
+    return f"shard-{index:05d}.g{generation:06d}.rps"
 
 
-def write_manifest(directory: str, manifest: Manifest) -> None:
+def dv_file_name(shard_file: str, generation: int) -> str:
+    """Deletion-vector sidecar name for one shard at one generation."""
+    return f"{shard_file}.{generation:06d}.dv"
+
+
+def manifest_file_name(generation: int) -> str:
+    return f"_table.{generation:06d}.json"
+
+
+def write_atomic(path: str, data: bytes) -> None:
+    """Publish ``data`` at ``path`` via a same-directory rename, so a
+    concurrent reader sees the old file or the new one, never a torn
+    half-written mix."""
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def write_manifest(directory: str, manifest: Manifest,
+                   generation: int | None = None) -> None:
+    """Write one manifest file (atomically).
+
+    ``generation=None`` writes the legacy single ``_table.json``;
+    otherwise the immutable ``_table.<gen>.json`` of a generation chain
+    (the commit only becomes visible once ``write_current`` swaps the
+    pointer).
+    """
     doc = {
         "format": MANIFEST_FORMAT,
         "version": VERSION,
+        "generation": generation if generation is not None
+        else manifest.generation,
         "columns": list(manifest.columns),
         "n_rows": manifest.n_rows,
         "shard_rows": manifest.shard_rows,
@@ -143,22 +216,78 @@ def write_manifest(directory: str, manifest: Manifest) -> None:
         "codecs": dict(manifest.codecs),
         "shards": list(manifest.shards),
     }
-    path = os.path.join(directory, MANIFEST_NAME)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=1)
+    name = MANIFEST_NAME if generation is None \
+        else manifest_file_name(generation)
+    body = json.dumps(doc, indent=1).encode("utf-8")
+    write_atomic(os.path.join(directory, name), body)
 
 
-def read_manifest(directory: str) -> Manifest:
-    path = os.path.join(directory, MANIFEST_NAME)
-    if not os.path.exists(path):
-        raise ValueError(f"{directory!r} is not a store table "
-                         f"(missing {MANIFEST_NAME})")
+def read_current(directory: str) -> int | None:
+    """The generation the ``CURRENT`` pointer names (``None`` = legacy
+    single-manifest table)."""
+    path = os.path.join(directory, CURRENT_NAME)
+    try:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read().strip()
+    except FileNotFoundError:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        raise ValueError(
+            f"corrupt {CURRENT_NAME} pointer {text!r} in {directory!r}"
+        ) from None
+
+
+def write_current(directory: str, generation: int) -> None:
+    """Atomically point ``CURRENT`` at ``generation`` — the commit."""
+    write_atomic(os.path.join(directory, CURRENT_NAME),
+                  f"{generation}\n".encode("utf-8"))
+
+
+def list_versions(directory: str) -> list[int]:
+    """Published manifest generations, oldest first (time travel menu).
+
+    Only generations the ``CURRENT`` pointer has reached count: a
+    manifest staged by a commit that crashed before the pointer swap is
+    an orphan, not a version (the next mutable open reaps it).
+    """
+    current = read_current(directory)
+    gens = []
+    for name in os.listdir(directory):
+        match = GEN_MANIFEST_RE.fullmatch(name)
+        if match:
+            gen = int(match.group(1))
+            if current is None or gen <= current:
+                gens.append(gen)
+    return sorted(gens)
+
+
+def read_manifest(directory: str, version: int | None = None) -> Manifest:
+    """Read one manifest: a pinned ``version`` generation, else whatever
+    ``CURRENT`` points at, else the legacy ``_table.json``."""
+    if version is None:
+        version = read_current(directory)
+    if version is None:
+        path = os.path.join(directory, MANIFEST_NAME)
+        if not os.path.exists(path):
+            raise ValueError(f"{directory!r} is not a store table "
+                             f"(missing {MANIFEST_NAME})")
+    else:
+        path = os.path.join(directory, manifest_file_name(version))
+        if not os.path.exists(path):
+            known = ", ".join(str(g) for g in list_versions(directory))
+            raise ValueError(
+                f"no manifest for version {version} in {directory!r}"
+                + (f" (published: {known})" if known else ""))
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
     if doc.get("format") != MANIFEST_FORMAT:
         raise ValueError(f"foreign manifest format {doc.get('format')!r}")
     if doc.get("version", 0) > VERSION:
-        raise ValueError(f"unsupported manifest version {doc.get('version')}")
+        raise ValueError(
+            f"manifest format version {doc.get('version')} is newer than "
+            f"the supported version {VERSION}; upgrade the reader")
     return Manifest(
         columns=tuple(doc["columns"]),
         n_rows=doc["n_rows"],
@@ -166,4 +295,41 @@ def read_manifest(directory: str) -> Manifest:
         chunk_rows=doc["chunk_rows"],
         codecs=dict(doc.get("codecs", {})),
         shards=tuple(doc.get("shards", ())),
+        generation=int(doc.get("generation", version or 0)),
     )
+
+
+# ------------------------------------------------------- deletion vectors
+def pack_deletion_vector(deleted: np.ndarray) -> bytes:
+    """Serialise a shard-local deleted-row bitmap (bit set = deleted)."""
+    deleted = np.asarray(deleted, dtype=bool)
+    payload = np.packbits(deleted).tobytes()
+    return (DV_MAGIC + bytes([DV_VERSION])
+            + len(deleted).to_bytes(8, "little")
+            + zlib.crc32(payload).to_bytes(4, "little")
+            + payload)
+
+
+def unpack_deletion_vector(blob: bytes) -> np.ndarray:
+    """Parse a sidecar back into a boolean deleted mask."""
+    if len(blob) < DV_HEADER_LEN or blob[:4] != DV_MAGIC:
+        raise ValueError(
+            f"not a deletion-vector sidecar (magic {bytes(blob[:4])!r}, "
+            f"expected {DV_MAGIC!r})")
+    if blob[4] > DV_VERSION:
+        raise ValueError(
+            f"deletion-vector version {blob[4]} is newer than the "
+            f"supported version {DV_VERSION}; upgrade the reader")
+    n_rows = int.from_bytes(blob[5:13], "little")
+    crc = int.from_bytes(blob[13:17], "little")
+    payload = blob[DV_HEADER_LEN:]
+    if len(payload) != (n_rows + 7) // 8:
+        raise ValueError(
+            f"deletion vector for {n_rows} rows wants "
+            f"{(n_rows + 7) // 8} payload bytes, found {len(payload)}")
+    if zlib.crc32(payload) != crc:
+        raise ValueError("deletion-vector checksum mismatch (corrupt "
+                         "sidecar)")
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8),
+                         count=n_rows)
+    return bits.astype(bool)

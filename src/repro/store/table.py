@@ -1,10 +1,16 @@
 """``Table`` — the mmap-backed read side of the persistent store.
 
-Opening a table reads the ``_table.json`` manifest, memory-maps every
-shard file, and parses each shard's footer catalog (schema, codec ids,
-row counts, zone maps).  No chunk bytes are touched until a scan asks for
-them, and zone-map-pruned chunks are never touched at all — the page
-cache plus the bounded LRU chunk cache are the only state between scans.
+Opening a table reads one manifest — the ``CURRENT`` generation of a
+mutated table, a ``version=`` pinned older generation (time travel), or
+the legacy single ``_table.json`` — memory-maps every shard file it
+names, parses each shard's footer catalog (schema, codec ids, row
+counts, zone maps), and loads any deletion-vector sidecars the manifest
+references.  A :class:`Table` is therefore an immutable *snapshot*:
+commits publish new manifests and swap ``CURRENT`` atomically, so a
+concurrent reader never sees a torn table.  No chunk bytes are touched
+until a scan asks for them, and zone-map-pruned chunks are never touched
+at all — the page cache plus the bounded LRU chunk cache are the only
+state between scans.
 """
 
 from __future__ import annotations
@@ -21,13 +27,22 @@ from repro.store.format import (
     ChunkMeta,
     Manifest,
     ShardFooter,
+    list_versions,
     read_manifest,
+    unpack_deletion_vector,
     unpack_footer,
 )
 
 
 class Shard:
-    """One opened shard file: mmap + parsed footer catalog."""
+    """One opened shard file: mmap + parsed footer catalog.
+
+    ``row_start`` is the shard's *global* first row in the snapshot it
+    was opened for (manifest-assigned — compaction can shift a shard's
+    position in the chain without rewriting its footer);
+    ``deleted`` is the generation's deletion vector for this shard
+    (shard-local boolean mask, ``None`` when every row is live).
+    """
 
     def __init__(self, path: str):
         self.path = path
@@ -43,6 +58,8 @@ class Shard:
         except BaseException:
             self._file.close()
             raise
+        self.row_start: int = self.footer.row_start
+        self.deleted: np.ndarray | None = None
         self.by_column: dict[str, tuple[ChunkMeta, ...]] = {}
         for chunk in self.footer.chunks:
             self.by_column.setdefault(chunk.column, ())
@@ -55,32 +72,58 @@ class Shard:
 
 
 class Table:
-    """Read-only view of one store directory (use :meth:`open`)."""
+    """Read-only snapshot of one store directory (use :meth:`open`)."""
 
-    def __init__(self, path: str, cache_bytes: int = DEFAULT_CAPACITY_BYTES):
+    def __init__(self, path: str, cache_bytes: int = DEFAULT_CAPACITY_BYTES,
+                 version: int | None = None):
         self.path = path
-        self.manifest: Manifest = read_manifest(path)
+        self.manifest: Manifest = read_manifest(path, version=version)
         self.shards: list[Shard] = []
         try:
+            row_start = 0
             for entry in self.manifest.shards:
                 shard = Shard(os.path.join(path, entry["file"]))
                 self.shards.append(shard)
-                if shard.footer.row_start != entry["row_start"] or \
-                        shard.footer.n_rows != entry["n_rows"]:
+                if shard.footer.n_rows != entry["n_rows"] or \
+                        entry["row_start"] != row_start:
                     raise ValueError(
                         f"shard {entry['file']!r} footer disagrees with "
                         "the manifest (mixed table versions?)")
+                shard.row_start = row_start
+                row_start += entry["n_rows"]
+                if entry.get("dv"):
+                    with open(os.path.join(path, entry["dv"]), "rb") as fh:
+                        deleted = unpack_deletion_vector(fh.read())
+                    if len(deleted) != entry["n_rows"]:
+                        raise ValueError(
+                            f"deletion vector {entry['dv']!r} covers "
+                            f"{len(deleted)} rows, shard holds "
+                            f"{entry['n_rows']}")
+                    shard.deleted = deleted
+            if row_start != self.manifest.n_rows:
+                raise ValueError(
+                    f"manifest declares {self.manifest.n_rows} rows, "
+                    f"shards hold {row_start}")
         except BaseException:
             for shard in self.shards:
                 shard.close()
             raise
         self.cache: ChunkCache | None = \
             ChunkCache(cache_bytes) if cache_bytes else None
+        self._live_mask: np.ndarray | None = None
 
     @classmethod
-    def open(cls, path: str,
-             cache_bytes: int = DEFAULT_CAPACITY_BYTES) -> "Table":
-        return cls(path, cache_bytes=cache_bytes)
+    def open(cls, path: str, cache_bytes: int = DEFAULT_CAPACITY_BYTES,
+             version: int | None = None) -> "Table":
+        """Open the current snapshot, or pin an older published
+        ``version`` of a mutated table (time travel)."""
+        return cls(path, cache_bytes=cache_bytes, version=version)
+
+    @staticmethod
+    def versions(path: str) -> list[int]:
+        """Published manifest generations of a mutable table, oldest
+        first (empty for a plain immutable table)."""
+        return list_versions(path)
 
     # ------------------------------------------------------------ catalog
     @property
@@ -95,6 +138,37 @@ class Table:
     def chunk_rows(self) -> int:
         return self.manifest.chunk_rows
 
+    @property
+    def generation(self) -> int:
+        return self.manifest.generation
+
+    @property
+    def live_rows(self) -> int:
+        """Rows visible after deletion vectors (= ``n_rows`` when no
+        shard carries one)."""
+        return self.n_rows - self.deleted_rows
+
+    @property
+    def deleted_rows(self) -> int:
+        return sum(int(s.deleted.sum()) for s in self.shards
+                   if s.deleted is not None)
+
+    def live_mask(self) -> np.ndarray | None:
+        """Table-global boolean mask of live rows, or ``None`` when every
+        physical row is live (no deletion vectors in this snapshot).
+        Built once and cached — the snapshot is immutable, and every
+        executed plan asks for it.  Treat the array as read-only."""
+        if self._live_mask is None:
+            if all(s.deleted is None for s in self.shards):
+                return None
+            mask = np.ones(self.n_rows, dtype=bool)
+            for shard in self.shards:
+                if shard.deleted is not None:
+                    mask[shard.row_start: shard.row_start
+                         + shard.footer.n_rows] = ~shard.deleted
+            self._live_mask = mask
+        return self._live_mask
+
     def stored_bytes(self) -> int:
         """Stored chunk bytes across all shards (excluding footers)."""
         return sum(c.nbytes for s in self.shards for c in s.footer.chunks)
@@ -108,7 +182,9 @@ class Table:
         return {
             "path": self.path,
             "columns": list(self.column_names),
+            "generation": self.generation,
             "n_rows": self.n_rows,
+            "live_rows": self.live_rows,
             "n_shards": len(self.shards),
             "shard_rows": self.manifest.shard_rows,
             "chunk_rows": self.chunk_rows,

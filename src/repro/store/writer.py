@@ -26,12 +26,14 @@ reads the same flag when deriving pruning bounds for in-memory sources.
 from __future__ import annotations
 
 import os
+import re
 
 import numpy as np
 
 from repro import codecs
 from repro.codecs.spec import CodecSpec
 from repro.store.format import (
+    CURRENT_NAME,
     SHARD_MAGIC,
     VERSION,
     ChunkMeta,
@@ -43,12 +45,27 @@ from repro.store.format import (
     write_manifest,
 )
 
+_SHARD_INDEX_RE = re.compile(r"shard-(\d+)\b.*\.rps$")
+_GEN_STATE_RE = re.compile(r"(_table\.\d{6}\.json|.*\.dv|wal-\d+\.log)$")
+
 #: default shard (row group) size in rows
 DEFAULT_SHARD_ROWS = 1 << 16
 #: default chunk size in rows (aligned across all columns of a shard)
 DEFAULT_CHUNK_ROWS = 1 << 12
 #: trial candidates for ``codec="auto"`` (smallest envelope wins)
 AUTO_CANDIDATES = ("leco", "dict", "plain")
+
+
+def next_shard_index(path: str) -> int:
+    """One past the highest shard index named by any ``.rps`` file, so
+    new shards never clobber files a concurrent reader (or an older
+    manifest generation) may still reference."""
+    highest = -1
+    for name in os.listdir(path):
+        match = _SHARD_INDEX_RE.fullmatch(name)
+        if match:
+            highest = max(highest, int(match.group(1)))
+    return highest + 1
 
 
 def _partition_rows(chunk_rows: int) -> int:
@@ -91,12 +108,21 @@ class TableWriter:
     columns) and per-column codec mappings that do not cover them are
     rejected here, at construction, instead of surfacing when the first
     batch arrives.
+
+    ``publish_manifest=False`` switches the writer into *extend* mode
+    for the mutation layer: shards are still staged and renamed into
+    place at ``close``, but no manifest is written and nothing existing
+    is touched — the caller folds :attr:`shard_entries` into its own
+    manifest generation (``start_row`` offsets their global row starts,
+    ``generation`` suffixes the file names so commits never collide).
     """
 
     def __init__(self, path: str, codec="auto",
                  shard_rows: int = DEFAULT_SHARD_ROWS,
                  chunk_rows: int = DEFAULT_CHUNK_ROWS,
-                 overwrite: bool = False, schema=None):
+                 overwrite: bool = False, schema=None,
+                 publish_manifest: bool = True, start_row: int = 0,
+                 generation: int | None = None):
         if shard_rows <= 0 or chunk_rows <= 0:
             raise ValueError("shard_rows and chunk_rows must be positive")
         if chunk_rows > shard_rows:
@@ -106,20 +132,31 @@ class TableWriter:
         self.codec = codec
         self.shard_rows = shard_rows
         self.chunk_rows = chunk_rows
+        self._publish_manifest = publish_manifest
+        self._start_row = start_row
+        self._generation = generation
+        self._name_base = 0
         os.makedirs(path, exist_ok=True)
-        try:
-            read_manifest(path)
-        except ValueError:
-            pass
+        if publish_manifest:
+            try:
+                read_manifest(path)
+            except ValueError:
+                pass
+            else:
+                if not overwrite:
+                    raise ValueError(
+                        f"{path!r} already holds a store table "
+                        "(pass overwrite=True to replace it)")
+                # republish under fresh names: a reader holding the old
+                # manifest keeps resolving the old files until the new
+                # manifest is swapped in and the old files are reaped
+                self._name_base = next_shard_index(path)
+            # leftovers of a writer that crashed mid-write are never data
+            for stale in os.listdir(path):
+                if stale.endswith(".rps.tmp"):
+                    os.remove(os.path.join(path, stale))
         else:
-            if not overwrite:
-                raise ValueError(
-                    f"{path!r} already holds a store table "
-                    "(pass overwrite=True to replace it)")
-        # leftovers of a writer that crashed mid-write are never data
-        for stale in os.listdir(path):
-            if stale.endswith(".rps.tmp"):
-                os.remove(os.path.join(path, stale))
+            self._name_base = next_shard_index(path)
         self._schema: tuple[str, ...] | None = schema
         self._buffer: dict[str, list[np.ndarray]] = \
             {name: [] for name in schema} if schema else {}
@@ -208,13 +245,15 @@ class TableWriter:
             self._flush_shard(self._buffered)
         if self._rows_written == 0:
             raise ValueError("cannot close a writer that ingested no rows")
-        live = {entry["file"] for entry in self._shards}
         for entry in self._shards:
             final = os.path.join(self.path, entry["file"])
             os.replace(final + ".tmp", final)
-        for name in os.listdir(self.path):
-            if name.endswith(".rps") and name not in live:
-                os.remove(os.path.join(self.path, name))
+        if not self._publish_manifest:
+            self._closed = True
+            return
+        # the manifest swap is the publication point: it lands atomically
+        # before any superseded file is reaped, so a concurrent reader
+        # resolves either the complete old table or the complete new one
         write_manifest(self.path, Manifest(
             columns=self._schema,
             n_rows=self._rows_written,
@@ -223,7 +262,22 @@ class TableWriter:
             codecs={name: self._codec_label(name) for name in self._schema},
             shards=tuple(self._shards),
         ))
+        live = {entry["file"] for entry in self._shards}
+        for name in os.listdir(self.path):
+            if name.endswith(".rps") and name not in live:
+                os.remove(os.path.join(self.path, name))
+            elif name == CURRENT_NAME or _GEN_STATE_RE.fullmatch(name):
+                # a full overwrite replaces a mutable table's whole
+                # generation chain, not just its newest snapshot
+                os.remove(os.path.join(self.path, name))
         self._closed = True
+
+    @property
+    def shard_entries(self) -> tuple[dict, ...]:
+        """Manifest entries of the published shards (after ``close``)."""
+        if not self._closed:
+            raise ValueError("shard entries exist only after close()")
+        return tuple(self._shards)
 
     def __enter__(self) -> "TableWriter":
         return self
@@ -314,13 +368,14 @@ class TableWriter:
                     offset=len(out), nbytes=len(blob), codec=codec_name,
                     zmin=zmin, zmax=zmax, bounds=src))
                 out += blob
+        row_start = self._start_row + self._rows_written
         out += pack_footer(ShardFooter(
-            row_start=self._rows_written, n_rows=n_rows,
-            chunks=tuple(chunks)))
-        fname = shard_file_name(len(self._shards))
+            row_start=row_start, n_rows=n_rows, chunks=tuple(chunks)))
+        fname = shard_file_name(self._name_base + len(self._shards),
+                                self._generation)
         with open(os.path.join(self.path, fname + ".tmp"), "wb") as fh:
             fh.write(out)
-        self._shards.append({"file": fname, "row_start": self._rows_written,
+        self._shards.append({"file": fname, "row_start": row_start,
                              "n_rows": n_rows})
         self._rows_written += n_rows
 
