@@ -1,0 +1,185 @@
+"""Fault-tolerance benchmark: what end-to-end checksums cost.
+
+The v2 shard layout crc32-checksums every chunk envelope and footer
+catalog, verified on each cache-miss revive.  This bench measures the
+price of that guarantee on the worst case — a full cold scan
+(``cache_bytes=0``, so every chunk is revived and verified every time)
+— against the same scan with ``verify_checksums=False``, plus the
+offline ``scrub`` walk.  A corruption drill (one flipped bit in a
+shard copy) proves the machinery actually detects what it charges for.
+
+Writes a ``BENCH_faults.json`` trajectory with pass/fail checks (the
+verified scan returns identical rows; the checksum overhead stays
+within the 5% budget; scrub is clean on the intact table; the flipped
+bit is caught by scan, skip-policy, and scrub)::
+
+    python benchmarks/bench_faults.py [--quick] [--json PATH] [--dir D]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.store import CorruptChunkError, Table, scrub_table, write_table
+from repro.store.format import unpack_footer
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit, headline
+
+FULL_N = 500_000
+QUICK_N = 100_000
+#: best-of repeats per timed scan (crc32 cost is small; noise is not)
+REPEATS = 5
+#: the regression gate: verified full scan at most this much slower
+MAX_OVERHEAD = 0.05
+
+
+def _measure(fn, repeats: int = REPEATS):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _full_scan(directory: str, verify: bool):
+    with Table.open(directory, cache_bytes=0,
+                    verify_checksums=verify) as table:
+        return _measure(lambda: table.scan())
+
+
+def _first_chunk(directory: str):
+    """(shard path, first chunk meta) of the table's first shard."""
+    with Table.open(directory) as table:
+        shard = table.shards[0]
+        return shard.path, shard.footer.chunks[0]
+
+
+def _corruption_drill(directory: str, flip_dir: str) -> dict:
+    """Flip one bit in a copy of the table; every detector must fire."""
+    shutil.copytree(directory, flip_dir)
+    shard_path, meta = _first_chunk(flip_dir)
+    offset = meta.offset + meta.nbytes // 2
+    with open(shard_path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)[0]
+        fh.seek(offset)
+        fh.write(bytes([byte ^ 0x10]))
+
+    scan_raised = False
+    try:
+        with Table.open(flip_dir, cache_bytes=0) as table:
+            table.scan()
+    except CorruptChunkError:
+        scan_raised = True
+
+    with Table.open(flip_dir, cache_bytes=0) as table:
+        skipped = table.scan(on_corruption="skip")
+    report = scrub_table(flip_dir)
+    return {
+        "flipped": {"file": os.path.basename(shard_path),
+                    "column": meta.column, "byte_offset": offset},
+        "scan_raised": scan_raised,
+        "skip_rows_out": skipped.n_rows,
+        "skip_chunks_quarantined": skipped.stats.chunks_corrupt,
+        "scrub_errors": report.errors,
+    }
+
+
+def run(directory: str, n: int) -> dict:
+    rng = np.random.default_rng(0)
+    columns = {
+        "ts": np.arange(n, dtype=np.int64),
+        "id": rng.integers(0, 4096, n).astype(np.int64),
+        "val": np.cumsum(rng.integers(-5, 6, n)).astype(np.int64),
+    }
+    write_table(directory, columns, shard_rows=max(n // 8, 4096))
+    with Table.open(directory) as table:
+        info = {"n_rows": table.n_rows, "n_shards": len(table.shards),
+                "stored_bytes": table.stored_bytes()}
+
+    t_verified, res_verified = _full_scan(directory, verify=True)
+    t_unverified, res_unverified = _full_scan(directory, verify=False)
+    overhead = t_verified / max(t_unverified, 1e-9) - 1.0
+
+    t_scrub, report = _measure(lambda: scrub_table(directory), repeats=1)
+    drill = _corruption_drill(directory, directory + "_flip")
+
+    checks = {
+        "verified_scan_identical": all(
+            np.array_equal(res_verified.columns[c],
+                           res_unverified.columns[c]) for c in columns),
+        "checksum_overhead_within_budget": bool(overhead <= MAX_OVERHEAD),
+        "scrub_clean_on_intact_table": report.ok,
+        "bit_flip_raises_on_scan": drill["scan_raised"],
+        "bit_flip_quarantined_by_skip_policy": bool(
+            drill["skip_chunks_quarantined"] == 1
+            and drill["skip_rows_out"] < n),
+        "bit_flip_reported_by_scrub": bool(drill["scrub_errors"]),
+    }
+
+    emit(f"table: {info['n_rows']} rows x {len(columns)} columns, "
+         f"{info['n_shards']} shards, {info['stored_bytes']} B stored")
+    emit(f"full cold scan:   verified {t_verified * 1e3:7.2f} ms   "
+         f"unverified {t_unverified * 1e3:7.2f} ms   "
+         f"overhead {overhead:+.2%} (budget {MAX_OVERHEAD:.0%})")
+    emit(f"scrub: {report.summary().splitlines()[-1]} "
+         f"in {t_scrub * 1e3:.1f} ms "
+         f"({sum(s.chunks_checked for s in report.shards)} chunks)")
+    emit(f"corruption drill: scan_raised={drill['scan_raised']}, "
+         f"skip kept {drill['skip_rows_out']}/{n} rows "
+         f"({drill['skip_chunks_quarantined']} chunk quarantined), "
+         f"scrub found {len(drill['scrub_errors'])} error(s)")
+    emit("checks: " + ", ".join(f"{k}={v}" for k, v in checks.items()))
+
+    return {
+        "n": n, "table": info,
+        "scan_verified_ms": t_verified * 1e3,
+        "scan_unverified_ms": t_unverified * 1e3,
+        "checksum_overhead": overhead,
+        "overhead_budget": MAX_OVERHEAD,
+        "scrub_ms": t_scrub * 1e3,
+        "corruption_drill": drill,
+        "checks": checks,
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--json", default="BENCH_faults.json")
+    parser.add_argument("--dir", default=None,
+                        help="table directory (default: a temp dir)")
+    args = parser.parse_args(argv)
+    n = QUICK_N if args.quick else FULL_N
+    emit(headline(
+        "Fault-tolerance benchmark",
+        f"checksum overhead on a cold full scan (n={n}), scrub walk, "
+        "single-bit corruption drill"))
+    directory = args.dir or tempfile.mkdtemp(prefix="repro_faults_bench_")
+    directory = f"{directory}/table"
+    try:
+        payload = run(directory, n)
+    finally:
+        if args.dir is None:
+            shutil.rmtree(directory.rsplit("/", 1)[0],
+                          ignore_errors=True)
+    with open(args.json, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    emit(f"\nwrote {args.json}")
+    failed = [name for name, ok in payload["checks"].items() if not ok]
+    if failed:  # the CI smoke step must go red, not just record it
+        raise SystemExit(f"faults bench checks failed: {', '.join(failed)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,12 @@ driven on a thread pool.  ``ExecStats`` unifies the accounting both old
 execution paths kept separately.
 """
 
+from repro.exec.errors import (
+    CorruptChunkError,
+    ExecError,
+    ExecTimeout,
+    GranuleError,
+)
 from repro.exec.expr import (
     And,
     Bitmap,
@@ -58,9 +64,13 @@ __all__ = [
     "ChainSource",
     "Col",
     "ColumnSource",
+    "CorruptChunkError",
+    "ExecError",
     "ExecResult",
     "ExecStats",
+    "ExecTimeout",
     "Expr",
+    "GranuleError",
     "Granule",
     "InSet",
     "Or",

@@ -183,12 +183,16 @@ class Plan:
 
     # ------------------------------------------------------------- execute
     def execute(self, source, threads: int | None = None,
-                prune: bool = True, pushdown: bool = True):
-        """Run over ``source`` (see :func:`repro.exec.run.execute`)."""
+                prune: bool = True, pushdown: bool = True, **opts):
+        """Run over ``source`` (see :func:`repro.exec.run.execute`).
+
+        Resilience knobs (``on_corruption``, ``timeout_s``,
+        ``io_retries``) pass through ``**opts`` verbatim.
+        """
         from repro.exec.run import execute
 
         return execute(self, source, threads=threads, prune=prune,
-                       pushdown=pushdown)
+                       pushdown=pushdown, **opts)
 
     # ------------------------------------------------------------- explain
     def describe_nodes(self) -> list:

@@ -31,18 +31,26 @@ pruning counts and the full cost split.
 
 from __future__ import annotations
 
+import errno
 import os
+import random
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import CancelledError, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.exec.errors import CorruptChunkError, ExecTimeout, GranuleError
 from repro.exec.expr import And, split_pushdown
 from repro.exec.plan import Aggregate, HashJoin, Plan
 
 #: cap on auto-selected executor threads
 MAX_AUTO_THREADS = 8
+
+#: transient-read retry budget per granule load (EIO only)
+DEFAULT_IO_RETRIES = 2
 
 
 @dataclass
@@ -64,6 +72,8 @@ class ExecStats:
     rows_scanned: int = 0      # rows surviving the filter
     rows_masked: int = 0       # rows positional bitmaps (e.g. deletion
     #                            vectors) suppressed in scanned granules
+    chunks_corrupt: int = 0    # granules quarantined by on_corruption=skip
+    io_retries: int = 0        # transient EIO loads retried successfully
     cpu_filter_s: float = 0.0
     cpu_gather_s: float = 0.0
     cpu_aggregate_s: float = 0.0
@@ -82,6 +92,8 @@ class ExecStats:
         self.cache_misses += other.cache_misses
         self.rows_scanned += other.rows_scanned
         self.rows_masked += other.rows_masked
+        self.chunks_corrupt += other.chunks_corrupt
+        self.io_retries += other.io_retries
         self.cpu_filter_s += other.cpu_filter_s
         self.cpu_gather_s += other.cpu_gather_s
         self.cpu_aggregate_s += other.cpu_aggregate_s
@@ -155,6 +167,10 @@ class ExecResult:
                   f"chunks: {stats.chunks_scanned} scanned; "
                   f"cache: {stats.cache_hits} hits, "
                   f"{stats.cache_misses} misses")
+        if stats.chunks_corrupt:
+            pruned += f"; corrupt: {stats.chunks_corrupt} quarantined"
+        if stats.io_retries:
+            pruned += f"; io: {stats.io_retries} retried"
         rows = (f"rows: {stats.rows_scanned} matched, "
                 f"{stats.rows_masked} masked; "
                 f"bytes: {stats.bytes_scanned} scanned, "
@@ -302,7 +318,10 @@ def _probe(node: HashJoin, out: dict, row_ids: np.ndarray,
 
 # ----------------------------------------------------------------- execute
 def execute(plan: Plan, source, threads: int | None = None,
-            prune: bool = True, pushdown: bool = True) -> ExecResult:
+            prune: bool = True, pushdown: bool = True,
+            on_corruption: str = "raise",
+            timeout_s: float | None = None,
+            io_retries: int = DEFAULT_IO_RETRIES) -> ExecResult:
     """Run ``plan`` over ``source``.
 
     Parameters
@@ -318,8 +337,30 @@ def execute(plan: Plan, source, threads: int | None = None,
         (no ``filter_range``, no late materialization) — the honest
         baseline the exec benchmark compares against.  Results are
         identical.
+    on_corruption:
+        ``"raise"`` (default) propagates :class:`CorruptChunkError` from
+        a failed chunk checksum; ``"skip"`` quarantines the granule —
+        its rows vanish from the result, :attr:`ExecStats.chunks_corrupt`
+        is charged, and :meth:`ExecResult.explain` reports it.
+    timeout_s:
+        Wall-clock budget for the whole query.  On expiry outstanding
+        granules are cancelled cooperatively and :class:`ExecTimeout`
+        is raised carrying the partial stats accumulated so far.
+    io_retries:
+        Bounded retries (with seeded jittered backoff) for granule loads
+        that fail with a transient ``EIO``; anything else — or the same
+        granule failing past the budget — propagates wrapped in
+        :class:`GranuleError`.
     """
+    if on_corruption not in ("raise", "skip"):
+        raise ValueError(
+            f"on_corruption must be 'raise' or 'skip', "
+            f"got {on_corruption!r}")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError(f"timeout_s must be positive, got {timeout_s}")
     start = time.perf_counter()
+    deadline = None if timeout_s is None else start + timeout_s
+    cancel = threading.Event()
     names = tuple(source.column_names)
     expr = plan.filter_expr()
     # sources may imply a filter of their own — a mutated table's
@@ -357,16 +398,64 @@ def execute(plan: Plan, source, threads: int | None = None,
     else:
         ranges, bitmaps, residual = {}, (), expr
 
-    def run_granule(granule) -> _Partial:
+    def run_granule(granule) -> _Partial | None:
+        # cooperative cancellation: a granule that starts after the
+        # deadline passed (or after a sibling failed) does no work
+        if cancel.is_set():
+            return None
+        if deadline is not None and time.perf_counter() > deadline:
+            cancel.set()
+            return None
         st = ExecStats(granules_total=1)
         loaded: dict[str, object] = {}
+        where = {"column": None}  # last column touched, for error context
+        rng: random.Random | None = None
 
         def load(column: str):
+            nonlocal rng
             seq = loaded.get(column)
-            if seq is None:
-                seq = loaded[column] = source.load(granule, column, st)
+            if seq is not None:
+                return seq
+            where["column"] = column
+            attempt = 0
+            while True:
+                try:
+                    seq = source.load(granule, column, st)
+                    break
+                except OSError as err:
+                    # only EIO is plausibly transient; seeded jittered
+                    # backoff keeps a failing schedule replayable
+                    if err.errno != errno.EIO or attempt >= io_retries:
+                        raise
+                    attempt += 1
+                    st.io_retries += 1
+                    if rng is None:
+                        rng = random.Random(0x9E3779B9 ^ granule.index)
+                    time.sleep(rng.uniform(0.0005, 0.002) * attempt)
+            loaded[column] = seq
             return seq
 
+        try:
+            return _pipeline(granule, st, load)
+        except CorruptChunkError:
+            if on_corruption == "skip":
+                st.chunks_corrupt += 1
+                return _Partial(_EMPTY, {c: _EMPTY for c in output_cols},
+                                None, st)
+            cancel.set()
+            raise
+        except GranuleError:
+            cancel.set()
+            raise
+        except Exception as err:
+            cancel.set()
+            shard_of = getattr(source, "granule_shard", None)
+            raise GranuleError(
+                err, granule=granule.index,
+                shard=shard_of(granule) if callable(shard_of) else None,
+                column=where["column"]) from err
+
+    def _pipeline(granule, st: ExecStats, load) -> _Partial:
         n = granule.n_rows
         if expr is not None and prune:
             bounds = {c: source.bounds(granule, c) for c in pred_cols}
@@ -456,15 +545,60 @@ def execute(plan: Plan, source, threads: int | None = None,
 
     granules = source.granules()
     n_threads = _thread_count(source, len(granules), threads)
+    partials: list[_Partial] = []
+    timed_out = False
+    failure: BaseException | None = None
     if n_threads == 1 or len(granules) <= 1:
-        partials = [run_granule(g) for g in granules]
+        for granule in granules:
+            part = run_granule(granule)
+            if part is None:
+                timed_out = True
+                break
+            partials.append(part)
     else:
         with ThreadPoolExecutor(max_workers=n_threads) as pool:
-            partials = list(pool.map(run_granule, granules))
+            futures = [pool.submit(run_granule, g) for g in granules]
+            for fut in futures:
+                if failure is not None or timed_out:
+                    # first failure/timeout wins: cancel everything not
+                    # yet started; running granules see the cancel event
+                    fut.cancel()
+                    continue
+                remaining = None if deadline is None \
+                    else deadline - time.perf_counter()
+                try:
+                    if remaining is not None and remaining <= 0:
+                        raise FutureTimeout()
+                    part = fut.result(timeout=remaining)
+                except FutureTimeout:
+                    timed_out = True
+                    cancel.set()
+                    fut.cancel()
+                    continue
+                except CancelledError:
+                    continue
+                except BaseException as err:
+                    failure = err
+                    cancel.set()
+                    fut.cancel()
+                    continue
+                if part is None:
+                    timed_out = True
+                    cancel.set()
+                    continue
+                partials.append(part)
+    if failure is not None:
+        raise failure
 
     stats = ExecStats()
     for part in partials:
         stats.merge(part.stats)
+    if timed_out:
+        stats.wall_s = time.perf_counter() - start
+        raise ExecTimeout(
+            f"query exceeded timeout_s={timeout_s} "
+            f"({len(partials)}/{len(granules)} granules completed)",
+            stats=stats)
 
     groups = None
     if isinstance(terminal, Aggregate):

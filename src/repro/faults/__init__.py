@@ -1,0 +1,39 @@
+"""``repro.faults`` — deterministic fault injection for the store stack.
+
+The robustness harness behind the crash-matrix and corruption suites: an
+injectable IO shim with named hook points (crash-at-Nth-write/fsync/
+rename, torn writes, bit flips, EIO/ENOSPC, slow IO) threaded through
+the store writer, the WAL, manifest commits, compaction, and the chunk
+read path.  See :mod:`repro.faults.shim` for the hook-point table and
+the rule API::
+
+    from repro import faults
+
+    inj = faults.FaultInjector(seed=7).crash_at("current.rename")
+    with inj:
+        table.flush()        # raises faults.SimulatedCrash mid-commit
+    # reopen the directory: recovery must land on the pre- or
+    # post-commit snapshot, losing only unacknowledged WAL records
+
+With no injector installed every hook is a single ``is None`` check.
+"""
+
+from repro.faults.shim import (
+    FaultInjector,
+    SimulatedCrash,
+    active,
+    fire,
+    install,
+    uninstall,
+    write_through,
+)
+
+__all__ = [
+    "FaultInjector",
+    "SimulatedCrash",
+    "active",
+    "fire",
+    "install",
+    "uninstall",
+    "write_through",
+]

@@ -1,0 +1,315 @@
+"""Deterministic, seeded fault injection for the storage stack.
+
+Every dangerous step of the store's write and read paths calls into this
+shim at a **named hook point**: :func:`fire` for control-flow hooks
+(fsync, rename, chunk reads) and :func:`write_through` for data writes
+(shard images, WAL frames, manifest bodies).  With no injector
+installed both are near-free no-ops — one module-global ``is None``
+check — so production code pays nothing for being testable.
+
+Install a :class:`FaultInjector` (a context manager) and arm it with
+rules to simulate the failures a real deployment meets::
+
+    from repro import faults
+
+    inj = faults.FaultInjector(seed=7)
+    inj.crash_at("current.rename")            # die before the commit point
+    inj.torn_write_at("wal.append", at=3)     # 3rd record torn mid-write
+    inj.flip_bit_at("shard.write")            # silent single-bit rot
+    inj.fail_at("chunk.read", error=errno.EIO, times=2)   # transient EIO
+    inj.fail_at("shard.write", error=errno.ENOSPC)        # disk full
+    inj.slow_at("chunk.read", delay_s=0.05, times=None)   # degraded disk
+    with inj:
+        ...  # exercise flush / commit / compact / scan
+
+Rules match hook points by :mod:`fnmatch` glob (``"*.fsync"`` arms every
+fsync), fire on the ``at``-th matching invocation (1-based), and stay
+armed for ``times`` consecutive invocations (``None`` = forever).  All
+nondeterministic choices (torn-write length, flipped bit) come from the
+injector's seeded RNG, so a failing schedule replays exactly.
+
+A *crash* raises :class:`SimulatedCrash` — the in-process stand-in for
+the process dying at that instant.  Cleanup handlers in production code
+must let it propagate untouched (a dead process runs no cleanup); the
+crash-matrix suite then reopens the directory and asserts recovery.
+
+Hook points threaded through the tree (see the call sites):
+
+========================  =====================================================
+point                     fires
+========================  =====================================================
+``shard.write``           shard image into its ``.rps.tmp`` staging file
+``shard.publish``         before each staged shard renames into place
+``manifest.write/fsync/rename``  a ``_table[.gen].json`` publish
+``current.write/fsync/rename``   the ``CURRENT`` pointer swap (commit point)
+``dv.write/fsync/rename``        a deletion-vector sidecar publish
+``wal.append``            one framed WAL record into the open log
+``wal.fsync``             the WAL's explicit fsync (``sync=True`` tables)
+``wal.rotate.write/fsync/rename``  the post-commit WAL rotation
+``chunk.read``            a column chunk leaving the mmap on a cache miss
+``compact.rewrite``       before a shard run rewrites through the registry
+``compact.commit``        before compaction publishes its generation
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import random
+import threading
+import time
+
+__all__ = [
+    "FaultInjector",
+    "SimulatedCrash",
+    "active",
+    "fire",
+    "install",
+    "uninstall",
+    "write_through",
+]
+
+
+class SimulatedCrash(RuntimeError):
+    """The process "died" at a hook point (injected, in-process).
+
+    Deliberately not an :class:`OSError`: failure-path cleanup handlers
+    catch real IO errors but must let a crash propagate — a process that
+    died runs no cleanup, and the recovery suite asserts the next open
+    repairs whatever the crash left behind.
+    """
+
+
+class _Rule:
+    """One armed fault: a glob over hook points + a firing window."""
+
+    __slots__ = ("pattern", "kind", "at", "times", "seen", "fired",
+                 "options")
+
+    def __init__(self, pattern: str, kind: str, at: int, times,
+                 **options):
+        if at < 1:
+            raise ValueError(f"at must be >= 1 (1-based), got {at}")
+        if times is not None and times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {times}")
+        self.pattern = pattern
+        self.kind = kind
+        self.at = at
+        self.times = times
+        self.seen = 0          # matching invocations observed so far
+        self.fired = 0         # invocations this rule actually hit
+        self.options = options
+
+    def due(self, point: str) -> bool:
+        """Advance this rule's counter for ``point``; True when it fires."""
+        if not fnmatch.fnmatchcase(point, self.pattern):
+            return False
+        self.seen += 1
+        if self.seen < self.at:
+            return False
+        if self.times is not None and self.seen >= self.at + self.times:
+            return False
+        self.fired += 1
+        return True
+
+
+class FaultInjector:
+    """A seeded schedule of injected faults (install via ``with``).
+
+    One injector may be installed at a time (module-global, so the
+    production call sites need no plumbing).  :attr:`log` records every
+    fault that actually fired as ``(point, action)`` pairs — assert on
+    it to prove a schedule exercised what it meant to.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._rules: list[_Rule] = []
+        self._lock = threading.Lock()
+        self.log: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------- arming
+    def _add(self, pattern: str, kind: str, at: int, times,
+             **options) -> "FaultInjector":
+        with self._lock:
+            self._rules.append(_Rule(pattern, kind, at, times, **options))
+        return self
+
+    def crash_at(self, point: str, at: int = 1) -> "FaultInjector":
+        """Raise :class:`SimulatedCrash` at the ``at``-th invocation."""
+        return self._add(point, "crash", at, 1)
+
+    def torn_write_at(self, point: str, at: int = 1,
+                      keep: int | None = None) -> "FaultInjector":
+        """Write a prefix (``keep`` bytes; seeded-random when ``None``)
+        of the data, then crash — the classic torn write."""
+        return self._add(point, "torn", at, 1, keep=keep)
+
+    def flip_bit_at(self, point: str, at: int = 1,
+                    bit: int | None = None) -> "FaultInjector":
+        """Silently corrupt one bit of the written data (seeded-random
+        position when ``bit`` is ``None``) and carry on — bit rot."""
+        return self._add(point, "flip", at, 1, bit=bit)
+
+    def fail_at(self, point: str, at: int = 1, times: int | None = 1,
+                error: int | None = None,
+                partial: int | None = None) -> "FaultInjector":
+        """Raise :class:`OSError` (``errno`` = ``error``, default EIO).
+
+        At a write point, ``partial`` bytes land first (ENOSPC writes a
+        prefix before failing; default 0).
+        """
+        import errno as _errno
+
+        return self._add(point, "error", at, times,
+                         error=error if error is not None else _errno.EIO,
+                         partial=partial)
+
+    def slow_at(self, point: str, delay_s: float, at: int = 1,
+                times: int | None = None) -> "FaultInjector":
+        """Sleep ``delay_s`` at each firing invocation, then proceed."""
+        return self._add(point, "slow", at, times, delay_s=delay_s)
+
+    def reset(self) -> None:
+        """Disarm every rule and clear the log."""
+        with self._lock:
+            self._rules = []
+            self.log = []
+
+    def fired(self, point_glob: str = "*") -> int:
+        """Total faults fired at points matching ``point_glob``."""
+        with self._lock:
+            return sum(1 for point, _ in self.log
+                       if fnmatch.fnmatchcase(point, point_glob))
+
+    # ------------------------------------------------------------- firing
+    def _due_rule(self, point: str) -> _Rule | None:
+        with self._lock:
+            for rule in self._rules:
+                if rule.due(point):
+                    return rule
+        return None
+
+    def _raise_error(self, rule: _Rule, point: str) -> None:
+        err = rule.options["error"]
+        self._record(point, f"error:{err}")
+        raise OSError(err, os.strerror(err), point)
+
+    def _record(self, point: str, action: str) -> None:
+        with self._lock:
+            self.log.append((point, action))
+
+    def fire(self, point: str, **context) -> None:
+        """Control-flow hook: may crash, raise an OSError, or stall."""
+        rule = self._due_rule(point)
+        if rule is None:
+            return
+        if rule.kind == "slow":
+            self._record(point, "slow")
+            time.sleep(rule.options["delay_s"])
+            return
+        if rule.kind == "error":
+            self._raise_error(rule, point)
+        # crash / torn / flip at a non-write hook all mean "die here"
+        self._record(point, "crash")
+        raise SimulatedCrash(f"injected crash at {point!r}")
+
+    def write(self, point: str, fh, data: bytes) -> None:
+        """Data-write hook: the shim performs (or corrupts) the write."""
+        rule = self._due_rule(point)
+        if rule is None:
+            fh.write(data)
+            return
+        if rule.kind == "slow":
+            self._record(point, "slow")
+            time.sleep(rule.options["delay_s"])
+            fh.write(data)
+            return
+        if rule.kind == "crash":
+            self._record(point, "crash")
+            raise SimulatedCrash(f"injected crash before {point!r}")
+        if rule.kind == "torn":
+            keep = rule.options.get("keep")
+            if keep is None:
+                with self._lock:
+                    keep = self._rng.randrange(len(data)) if data else 0
+            keep = max(0, min(int(keep), len(data)))
+            fh.write(data[:keep])
+            fh.flush()
+            self._record(point, f"torn:{keep}/{len(data)}")
+            raise SimulatedCrash(
+                f"injected torn write at {point!r} "
+                f"({keep} of {len(data)} bytes landed)")
+        if rule.kind == "flip":
+            bit = rule.options.get("bit")
+            if bit is None:
+                with self._lock:
+                    bit = self._rng.randrange(max(len(data) * 8, 1))
+            buf = bytearray(data)
+            if buf:
+                buf[(bit // 8) % len(buf)] ^= 1 << (bit % 8)
+            self._record(point, f"flip:{bit}")
+            fh.write(bytes(buf))
+            return
+        if rule.kind == "error":
+            partial = rule.options.get("partial")
+            if partial:
+                fh.write(data[:int(partial)])
+                fh.flush()
+            self._raise_error(rule, point)
+        raise AssertionError(f"unknown fault kind {rule.kind!r}")
+
+    # ---------------------------------------------------------- lifecycle
+    def __enter__(self) -> "FaultInjector":
+        install(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        uninstall(self)
+
+
+# ------------------------------------------------------ module-level shim
+_ACTIVE: FaultInjector | None = None
+_INSTALL_LOCK = threading.Lock()
+
+
+def install(injector: FaultInjector) -> None:
+    """Make ``injector`` the process-wide active fault schedule."""
+    global _ACTIVE
+    with _INSTALL_LOCK:
+        if _ACTIVE is not None and _ACTIVE is not injector:
+            raise ValueError(
+                "another FaultInjector is already installed; uninstall "
+                "it first (injectors do not nest)")
+        _ACTIVE = injector
+
+
+def uninstall(injector: FaultInjector | None = None) -> None:
+    """Deactivate the active injector (idempotent)."""
+    global _ACTIVE
+    with _INSTALL_LOCK:
+        if injector is None or _ACTIVE is injector:
+            _ACTIVE = None
+
+
+def active() -> FaultInjector | None:
+    """The installed injector, or ``None`` (the production state)."""
+    return _ACTIVE
+
+
+def fire(point: str, **context) -> None:
+    """Hook for control-flow fault points (no data flows through)."""
+    injector = _ACTIVE
+    if injector is not None:
+        injector.fire(point, **context)
+
+
+def write_through(point: str, fh, data: bytes) -> None:
+    """Hook for data writes: ``fh.write(data)``, possibly faulted."""
+    injector = _ACTIVE
+    if injector is None:
+        fh.write(data)
+    else:
+        injector.write(point, fh, data)

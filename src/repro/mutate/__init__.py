@@ -47,6 +47,7 @@ from repro.mutate.wal import (
     expr_from_doc,
     expr_to_doc,
     recover,
+    recover_with_report,
     replay,
     wal_file_name,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "expr_to_doc",
     "live_fractions",
     "recover",
+    "recover_with_report",
     "replay",
     "validate_batch",
     "wal_file_name",

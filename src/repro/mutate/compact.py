@@ -22,6 +22,8 @@ import threading
 
 import numpy as np
 
+from repro import faults
+from repro.faults import SimulatedCrash
 from repro.mutate import manifest as chain
 from repro.store.writer import TableWriter
 
@@ -88,17 +90,25 @@ def compact_table(table, codec, threshold: float = DEFAULT_THRESHOLD
                 if len(batch[table.column_names[0]])]
         if not live:
             continue  # the whole run was dead rows
+        faults.fire("compact.rewrite", shards=tuple(run))
         writer = TableWriter(
             table.path, codec="auto",
             shard_rows=table.manifest.shard_rows,
             chunk_rows=table.manifest.chunk_rows,
             schema=table.column_names, publish_manifest=False,
             start_row=rows_before, generation=generation)
-        for batch in live:
-            writer.append(batch)
-        writer.close()
+        try:
+            for batch in live:
+                writer.append(batch)
+            writer.close()
+        except SimulatedCrash:
+            raise  # a dead process cleans nothing; reopen repairs
+        except BaseException:
+            writer.abort()
+            raise
         entries.extend(writer.shard_entries)
         rows_before += sum(e["n_rows"] for e in writer.shard_entries)
+    faults.fire("compact.commit", generation=generation)
     chain.commit(table.path, table.manifest, entries, generation)
     return generation
 

@@ -39,6 +39,7 @@ from repro.store.format import (
 from repro.mutate.wal import wal_file_name
 
 _WAL_RE = re.compile(r"wal-(\d{6})\.log$")
+_WAL_SIDE_RE = re.compile(r"wal-(\d{6})\.log(\.corrupt)?$")
 _DV_RE = re.compile(r".*\.(\d{6})\.dv$")
 
 
@@ -66,7 +67,8 @@ def base_shard_entries(base_table, pending_deleted: np.ndarray,
             continue  # fully dead: fold the shard away right now
         dv_name = dv_file_name(entry["file"], generation)
         store_format.write_atomic(os.path.join(directory, dv_name),
-                                   pack_deletion_vector(combined))
+                                   pack_deletion_vector(combined),
+                                   point="dv")
         new_entry = dict(entry)
         new_entry["dv"] = dv_name
         entries.append(new_entry)
@@ -111,14 +113,21 @@ def commit(directory: str, base: Manifest, entries: list[dict],
 
 
 def rotate_wal(directory: str, generation: int) -> str:
-    """Create the new generation's (empty) WAL and reap older ones."""
+    """Create the new generation's (empty) WAL and reap older ones.
+
+    Forensics sidecars (``wal-*.log.corrupt``, preserved by recovery)
+    of superseded generations are reaped with their logs: the commit
+    that rotates past them proves their records were either replayed
+    into the new generation or never acknowledged.
+    """
     from repro.mutate.wal import WAL_MAGIC, WAL_VERSION
 
     name = wal_file_name(generation)
     store_format.write_atomic(os.path.join(directory, name),
-                               WAL_MAGIC + bytes([WAL_VERSION]))
+                               WAL_MAGIC + bytes([WAL_VERSION]),
+                               point="wal.rotate")
     for stale in os.listdir(directory):
-        match = _WAL_RE.fullmatch(stale)
+        match = _WAL_SIDE_RE.fullmatch(stale)
         if match and int(match.group(1)) != generation:
             os.remove(os.path.join(directory, stale))
     return name
@@ -143,9 +152,10 @@ def adopt(directory: str) -> int:
 def clean_orphans(directory: str, current: int) -> None:
     """Remove staging leftovers of a commit that never reached the
     ``CURRENT`` swap: manifests and sidecars of generations newer than
-    the pointer, and writer temp files.  (Orphaned shard files are left
-    for the next commit's namer to step over — they are unreferenced
-    data, never wrong data.)"""
+    the pointer, and temp files of any interrupted atomic write (staged
+    shards, manifest/CURRENT/DV ``.tmp`` images).  (Orphaned shard
+    files are left for the next commit's namer to step over — they are
+    unreferenced data, never wrong data.)"""
     for name in os.listdir(directory):
         gen = None
         match = store_format.GEN_MANIFEST_RE.fullmatch(name)
@@ -155,8 +165,7 @@ def clean_orphans(directory: str, current: int) -> None:
             match = _DV_RE.fullmatch(name)
             if match:
                 gen = int(match.group(1))
-        if (gen is not None and gen > current) or \
-                name.endswith(".rps.tmp"):
+        if (gen is not None and gen > current) or name.endswith(".tmp"):
             os.remove(os.path.join(directory, name))
 
 

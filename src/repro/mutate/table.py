@@ -36,9 +36,14 @@ import numpy as np
 
 from repro.exec import ArraySource, ChainSource, Plan, Range
 from repro.exec.expr import Expr
+from repro.faults import SimulatedCrash
 from repro.mutate import manifest as chain
 from repro.mutate.memtable import MemTable, validate_batch
-from repro.mutate.wal import WriteAheadLog, recover, wal_file_name
+from repro.mutate.wal import (
+    WriteAheadLog,
+    recover_with_report,
+    wal_file_name,
+)
 from repro.store.executor import StoreSource
 from repro.store.format import read_current, read_manifest
 from repro.store.table import Table
@@ -83,7 +88,7 @@ class MutableTable:
         self._memtable = MemTable(self._base.column_names,
                                   self._base.n_rows)
         wal_path = os.path.join(path, wal_file_name(generation))
-        records = recover(wal_path)
+        records, self.last_recovery = recover_with_report(wal_path)
         self._wal = WriteAheadLog(wal_path, sync=sync)
         self._closed = False
         # replay = re-run the acknowledged operations on the snapshot
@@ -358,8 +363,14 @@ class MutableTable:
                     chunk_rows=self._base.chunk_rows,
                     schema=self.schema, publish_manifest=False,
                     start_row=base_rows, generation=generation)
-                writer.append(self._memtable.columns())
-                writer.close()
+                try:
+                    writer.append(self._memtable.columns())
+                    writer.close()
+                except SimulatedCrash:
+                    raise  # a dead process cleans nothing; reopen repairs
+                except BaseException:
+                    writer.abort()
+                    raise
                 entries.extend(writer.shard_entries)
             chain.commit(self.path, self._base.manifest, entries,
                          generation)

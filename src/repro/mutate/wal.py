@@ -36,6 +36,7 @@ import zlib
 
 import numpy as np
 
+from repro import faults
 from repro.exec.expr import And, Expr, InSet, Or, Range
 
 #: WAL file leading magic
@@ -158,9 +159,10 @@ class WriteAheadLog:
     def _write(self, payload: bytes) -> None:
         frame = (len(payload).to_bytes(4, "little")
                  + zlib.crc32(payload).to_bytes(4, "little") + payload)
-        self._fh.write(frame)
+        faults.write_through("wal.append", self._fh, frame)
         self._fh.flush()
         if self.sync:
+            faults.fire("wal.fsync", path=self.path)
             os.fsync(self._fh.fileno())
 
     def log_append(self, columns: dict[str, np.ndarray]) -> None:
@@ -193,13 +195,53 @@ def recover(path: str) -> list:
     """:func:`replay`, plus repair: the torn tail (if any) is truncated
     away so records appended by the reopened table land directly after
     the last committed one instead of behind unreadable garbage."""
+    return recover_with_report(path)[0]
+
+
+def recover_with_report(path: str) -> tuple[list, dict]:
+    """:func:`recover`, reporting what the repair dropped.
+
+    The torn/corrupt tail is preserved verbatim as a
+    ``<wal>.log.corrupt`` forensics sidecar before the live file is
+    truncated — recovery never silently destroys the only evidence of
+    what a crash interrupted.  Returns ``(records, report)`` where
+    ``report`` holds ``records`` (committed count), ``bytes_dropped``,
+    ``records_dropped`` (best-effort frame count in the tail), and
+    ``sidecar`` (the forensics path, or ``None`` when the log was
+    clean).
+    """
     records, valid = _scan(path)
+    report = {"records": len(records), "bytes_dropped": 0,
+              "records_dropped": 0, "sidecar": None}
     try:
-        if os.path.getsize(path) > valid:
-            os.truncate(path, valid)
+        size = os.path.getsize(path)
     except FileNotFoundError:
-        pass
-    return records
+        return records, report
+    if size > valid:
+        with open(path, "rb") as fh:
+            fh.seek(valid)
+            tail = fh.read()
+        sidecar = path + ".corrupt"
+        with open(sidecar, "wb") as fh:
+            fh.write(tail)
+        os.truncate(path, valid)
+        report.update(bytes_dropped=len(tail),
+                      records_dropped=_count_tail_frames(tail),
+                      sidecar=sidecar)
+    return records, report
+
+
+def _count_tail_frames(tail: bytes) -> int:
+    """Best-effort frame count in a torn/corrupt tail (length prefixes
+    may themselves be garbage, so this is forensic, not exact)."""
+    count, pos = 0, 0
+    while pos + FRAME_LEN <= len(tail):
+        plen = int.from_bytes(tail[pos: pos + 4], "little")
+        count += 1
+        pos += FRAME_LEN + plen
+    if pos < len(tail):
+        count = max(count, 1)  # a frame header torn mid-write
+    return count
 
 
 def _scan(path: str) -> tuple[list, int]:

@@ -20,13 +20,22 @@ chain: ``Table.open(path, version=g)`` pins any published snapshot
 (time travel), and deletion-vector sidecars mask deleted rows through
 the executor's positional ``Bitmap`` machinery.
 
+Since the v2 shard layout every chunk envelope and footer catalog is
+crc32-checksummed end to end: a cache-miss revive that fails
+verification raises :class:`CorruptChunkError` (or quarantines the
+chunk under ``scan(..., on_corruption="skip")``), and the offline
+``python -m repro.store scrub`` walks every invariant per shard.
+
 ``python -m repro.store`` exposes ``ingest`` / ``scan`` / ``info`` plus
-the mutation cycle ``append`` / ``delete`` / ``compact`` / ``versions``.
+the mutation cycle ``append`` / ``delete`` / ``compact`` / ``versions``
+and the integrity check ``scrub``.
 """
 
+from repro.exec.errors import CorruptChunkError
 from repro.store.cache import ChunkCache
 from repro.store.executor import ScanResult, ScanStats, StoreSource
 from repro.store.format import ChunkMeta, Manifest, ShardFooter
+from repro.store.scrub import ScrubReport, ShardReport, scrub_table
 from repro.store.table import Shard, Table
 from repro.store.writer import (
     DEFAULT_CHUNK_ROWS,
@@ -38,15 +47,19 @@ from repro.store.writer import (
 __all__ = [
     "ChunkCache",
     "ChunkMeta",
+    "CorruptChunkError",
     "DEFAULT_CHUNK_ROWS",
     "DEFAULT_SHARD_ROWS",
     "Manifest",
     "ScanResult",
     "ScanStats",
+    "ScrubReport",
     "Shard",
+    "ShardReport",
     "StoreSource",
     "ShardFooter",
     "Table",
     "TableWriter",
+    "scrub_table",
     "write_table",
 ]

@@ -12,6 +12,7 @@ and the mutation layer (:mod:`repro.mutate`)::
     python -m repro.store delete DIR --where ts:1000:2000
     python -m repro.store compact DIR [--threshold 0.5]
     python -m repro.store versions DIR
+    python -m repro.store scrub DIR [--version G] [--json]
 
 ``ingest`` materialises one of the named dataset fixtures (any table from
 ``repro.datasets.load_table`` or the ``sensors`` stream) into a table
@@ -163,6 +164,23 @@ def _cmd_versions(args) -> int:
     return 0
 
 
+def _cmd_scrub(args) -> int:
+    from dataclasses import asdict
+
+    from repro.store.scrub import scrub_table
+
+    try:
+        report = scrub_table(args.table, version=args.version)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(asdict(report), indent=2, default=str))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_scan(args) -> int:
     with Table.open(args.table, version=args.version) as table:
         columns = args.columns.split(",") if args.columns else None
@@ -282,6 +300,16 @@ def build_parser() -> argparse.ArgumentParser:
         "versions", help="list published (time-travelable) generations")
     versions.add_argument("table", help="table directory")
     versions.set_defaults(func=_cmd_versions)
+
+    scrub = sub.add_parser(
+        "scrub",
+        help="verify every checksum and zone-map invariant, per shard")
+    scrub.add_argument("table", help="table directory")
+    scrub.add_argument("--version", type=int, default=None,
+                       help="scrub a pinned published generation")
+    scrub.add_argument("--json", action="store_true",
+                       help="emit the full report as JSON")
+    scrub.set_defaults(func=_cmd_scrub)
     return parser
 
 

@@ -19,6 +19,7 @@ the unified :mod:`repro.exec` layer.  This module contributes
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -44,6 +45,7 @@ class ScanStats:
     cache_misses: int = 0
     rows_scanned: int = 0     # rows surviving the predicate
     rows_masked: int = 0      # rows deletion vectors suppressed
+    chunks_corrupt: int = 0   # granules quarantined (on_corruption=skip)
     wall_s: float = 0.0
 
     def merge(self, other: "ScanStats") -> None:
@@ -56,6 +58,7 @@ class ScanStats:
         self.cache_misses += other.cache_misses
         self.rows_scanned += other.rows_scanned
         self.rows_masked += other.rows_masked
+        self.chunks_corrupt += other.chunks_corrupt
 
 
 @dataclass
@@ -116,6 +119,11 @@ class StoreSource(ColumnSource):
         return shard_idx, \
             self.table.shards[shard_idx].by_column[column][chunk_idx]
 
+    def granule_shard(self, granule: Granule) -> str:
+        """Shard file holding this granule (executor error context)."""
+        shard_idx, _ = self._chunks[granule.index]
+        return os.path.basename(self.table.shards[shard_idx].path)
+
     def bounds(self, granule: Granule, column: str):
         _, meta = self._meta(granule, column)
         return meta.zmin, meta.zmax
@@ -153,18 +161,21 @@ class StoreSource(ColumnSource):
 
 def run_scan(table, projection: tuple[str, ...],
              where: tuple[str, int, int] | None, prune: bool,
-             threads: int | None) -> ScanResult:
+             threads: int | None, **opts) -> ScanResult:
     """Execute one scan over ``table`` (see :meth:`Table.scan`).
 
     A thin shim over :func:`repro.exec.execute`: the historical
     ``(column, lo, hi)`` predicate becomes a pushable range term, and
-    the unified stats fold back into :class:`ScanStats`.
+    the unified stats fold back into :class:`ScanStats`.  Resilience
+    knobs (``on_corruption``, ``timeout_s``, ``io_retries``) pass
+    through ``**opts``.
     """
     plan = Plan.scan(projection)
     if where is not None:
         column, lo, hi = where
         plan = plan.where(Range(column, int(lo), int(hi)))
-    res = execute(plan, StoreSource(table), threads=threads, prune=prune)
+    res = execute(plan, StoreSource(table), threads=threads, prune=prune,
+                  **opts)
     stats = ScanStats(
         chunks_total=res.stats.granules_total if where is not None else 0,
         chunks_pruned=res.stats.granules_pruned,
@@ -175,6 +186,7 @@ def run_scan(table, projection: tuple[str, ...],
         cache_misses=res.stats.cache_misses,
         rows_scanned=res.stats.rows_scanned,
         rows_masked=res.stats.rows_masked,
+        chunks_corrupt=res.stats.chunks_corrupt,
         wall_s=res.stats.wall_s,
     )
     return ScanResult(columns=res.columns, row_ids=res.row_ids,

@@ -19,20 +19,25 @@ generations stay readable for time travel::
 
 Each shard file is self-describing — concatenated codec envelopes
 (:mod:`repro.codecs.envelope`, so any chunk revives via
-``codecs.from_bytes``) followed by a footer catalog::
+``codecs.from_bytes``) followed by a footer catalog (layout version 2)::
 
-    +------+-----+----------------------+-------------+------------+------+
-    | RPSH | ver | chunk envelopes      | footer JSON | footer len | RPSF |
-    | 4 B  | 1 B | RPRC... RPRC... ...  | utf-8       | 8 B LE     | 4 B  |
-    +------+-----+----------------------+-------------+------------+------+
+    +------+-----+----------------------+-------------+-----+-----+------+
+    | RPSH | ver | chunk envelopes      | footer JSON | crc | len | RPSF |
+    | 4 B  | 1 B | RPRC... RPRC... ...  | utf-8       | 4 B | 8 B | 4 B  |
+    +------+-----+----------------------+-------------+-----+-----+------+
 
 The footer carries, per column chunk: byte extent, row extent, the codec
-that encoded it, and its **zone map** — conservative ``[zmin, zmax]``
-value bounds taken from the codec's ``model_bounds()`` where exposed
-(LeCo's model + residual-width band) and computed from the raw values
-otherwise.  Readers parse the footer from the end of the file, so a scan
-never touches chunk bytes the zone maps prune.  Everything malformed
-raises :class:`ValueError`.
+that encoded it, its **zone map** — conservative ``[zmin, zmax]`` value
+bounds taken from the codec's ``model_bounds()`` where exposed (LeCo's
+model + residual-width band) and computed from the raw values otherwise
+— and the **crc32 of its envelope bytes**, verified when the chunk is
+revived on a cache miss.  The 4-byte crc32 of the footer JSON itself
+sits between the body and its length, so a corrupted catalog (flipped
+zone maps would silently mis-prune) is detected before it is trusted.
+Version-1 files — no chunk or footer checksums — remain fully readable;
+their chunks simply skip verification.  Readers parse the footer from
+the end of the file, so a scan never touches chunk bytes the zone maps
+prune.  Everything malformed raises :class:`ValueError`.
 """
 
 from __future__ import annotations
@@ -45,14 +50,18 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from repro import faults
+
 #: shard file leading magic
 SHARD_MAGIC = b"RPSH"
 #: shard file trailing magic (after the footer length)
 FOOTER_MAGIC = b"RPSF"
 #: deletion-vector sidecar magic
 DV_MAGIC = b"RPDV"
-#: current shard layout version
-VERSION = 1
+#: current shard layout version (2 = checksummed chunks + footer)
+VERSION = 2
+#: first shard layout version carrying crc32 checksums
+CHECKSUM_VERSION = 2
 #: deletion-vector sidecar layout version
 DV_VERSION = 1
 #: manifest file name inside a table directory
@@ -64,8 +73,10 @@ MANIFEST_FORMAT = "repro.store"
 
 #: leading header: magic + version byte
 HEADER_LEN = len(SHARD_MAGIC) + 1
-#: trailing bytes after the footer: 8-byte LE length + magic
+#: trailing bytes after the footer body: 8-byte LE length + magic
 TRAILER_LEN = 8 + len(FOOTER_MAGIC)
+#: extra trailing bytes in checksummed (v2+) shards: footer-body crc32
+FOOTER_CRC_LEN = 4
 #: dv sidecar header: magic + version + 8-byte LE row count + 4-byte crc
 DV_HEADER_LEN = len(DV_MAGIC) + 1 + 8 + 4
 
@@ -85,6 +96,8 @@ class ChunkMeta:
     zmin: int             # zone map: conservative minimum value
     zmax: int             # zone map: conservative maximum value
     bounds: str           # "model" (codec-derived) or "computed"
+    crc: int | None = None  # crc32 of the envelope bytes (None: v1 file,
+    #                         written before checksums — never verified)
 
 
 @dataclass(frozen=True)
@@ -100,7 +113,11 @@ class ShardFooter:
 
 
 def pack_footer(footer: ShardFooter) -> bytes:
-    """Serialise the footer catalog + trailer (appended after the chunks)."""
+    """Serialise the footer catalog + trailer (appended after the chunks).
+
+    The body's crc32 sits between the JSON and its length (v2 layout),
+    so a reader validates the catalog before trusting a single zone map.
+    """
     doc = {
         "version": VERSION,
         "row_start": footer.row_start,
@@ -108,7 +125,8 @@ def pack_footer(footer: ShardFooter) -> bytes:
         "chunks": [asdict(c) for c in footer.chunks],
     }
     body = json.dumps(doc, separators=(",", ":")).encode("utf-8")
-    return body + len(body).to_bytes(8, "little") + FOOTER_MAGIC
+    return (body + zlib.crc32(body).to_bytes(4, "little")
+            + len(body).to_bytes(8, "little") + FOOTER_MAGIC)
 
 
 def unpack_footer(blob: bytes) -> ShardFooter:
@@ -121,19 +139,28 @@ def unpack_footer(blob: bytes) -> ShardFooter:
         raise ValueError(
             f"not a repro store shard (magic {bytes(blob[:4])!r}, "
             f"expected {SHARD_MAGIC!r})")
-    if blob[4] > VERSION:
+    version = blob[4]
+    if version > VERSION:
         raise ValueError(
-            f"shard format version {blob[4]} is newer than the supported "
+            f"shard format version {version} is newer than the supported "
             f"version {VERSION}; upgrade the reader")
     if blob[-4:] != FOOTER_MAGIC:
         raise ValueError("shard trailer magic missing (truncated file?)")
     body_len = int.from_bytes(blob[-TRAILER_LEN:-4], "little")
     body_end = len(blob) - TRAILER_LEN
-    if body_len > body_end - HEADER_LEN:
+    crc_len = FOOTER_CRC_LEN if version >= CHECKSUM_VERSION else 0
+    if body_len > body_end - HEADER_LEN - crc_len:
         raise ValueError(
             f"footer declares {body_len} bytes, shard too short")
+    body = bytes(blob[body_end - crc_len - body_len: body_end - crc_len])
+    if crc_len:
+        crc = int.from_bytes(blob[body_end - crc_len: body_end], "little")
+        if zlib.crc32(body) != crc:
+            raise ValueError(
+                "shard footer checksum mismatch (corrupt catalog: "
+                "zone maps and chunk extents are not trustworthy)")
     try:
-        doc = json.loads(bytes(blob[body_end - body_len: body_end]))
+        doc = json.loads(body)
     except json.JSONDecodeError as exc:
         raise ValueError(f"corrupt shard footer: {exc}") from None
     chunks = tuple(ChunkMeta(**c) for c in doc["chunks"])
@@ -183,15 +210,22 @@ def manifest_file_name(generation: int) -> str:
     return f"_table.{generation:06d}.json"
 
 
-def write_atomic(path: str, data: bytes) -> None:
+def write_atomic(path: str, data: bytes, point: str = "atomic") -> None:
     """Publish ``data`` at ``path`` via a same-directory rename, so a
     concurrent reader sees the old file or the new one, never a torn
-    half-written mix."""
+    half-written mix.
+
+    ``point`` names the fault-injection hooks (``{point}.write`` /
+    ``.fsync`` / ``.rename``) so the crash-matrix suite can kill the
+    protocol between any two of its steps.
+    """
     tmp = path + ".tmp"
     with open(tmp, "wb") as fh:
-        fh.write(data)
+        faults.write_through(f"{point}.write", fh, data)
         fh.flush()
+        faults.fire(f"{point}.fsync", path=tmp)
         os.fsync(fh.fileno())
+    faults.fire(f"{point}.rename", src=tmp, dst=path)
     os.replace(tmp, path)
 
 
@@ -219,7 +253,7 @@ def write_manifest(directory: str, manifest: Manifest,
     name = MANIFEST_NAME if generation is None \
         else manifest_file_name(generation)
     body = json.dumps(doc, indent=1).encode("utf-8")
-    write_atomic(os.path.join(directory, name), body)
+    write_atomic(os.path.join(directory, name), body, point="manifest")
 
 
 def read_current(directory: str) -> int | None:
@@ -242,7 +276,7 @@ def read_current(directory: str) -> int | None:
 def write_current(directory: str, generation: int) -> None:
     """Atomically point ``CURRENT`` at ``generation`` — the commit."""
     write_atomic(os.path.join(directory, CURRENT_NAME),
-                  f"{generation}\n".encode("utf-8"))
+                  f"{generation}\n".encode("utf-8"), point="current")
 
 
 def list_versions(directory: str) -> list[int]:

@@ -1,0 +1,186 @@
+"""Offline integrity scrub: ``python -m repro.store scrub DIR``.
+
+Walks one published snapshot of a table directory and verifies every
+integrity invariant the formats promise, without trusting any of them
+on the way in:
+
+* the manifest's shard chain (row counts and ``row_start`` continuity),
+* each shard's footer catalog — magic, version, footer-body crc32,
+* every chunk envelope — its catalogued crc32 against the bytes on
+  disk, that the envelope actually revives through the codec registry,
+  that it decodes to the catalogued row count, and that the decoded
+  values respect the zone map (``zmin <= min`` and ``max <= zmax`` —
+  the invariant pruning correctness rests on),
+* every deletion-vector sidecar — crc, row count versus its shard.
+
+Unlike :class:`~repro.store.table.Table` (which refuses to open broken
+state), the scrubber keeps going after the first failure and reports
+*everything* it found, per shard — it is the tool you run when a scan
+raised :class:`CorruptChunkError` and you want the blast radius.
+Chunks written before the checksummed v2 layout scrub everything except
+the (absent) envelope crc.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass, field
+
+from repro import codecs
+from repro.store.format import (
+    read_manifest,
+    unpack_deletion_vector,
+    unpack_footer,
+)
+
+
+@dataclass
+class ShardReport:
+    """Scrub outcome for one shard file (plus its sidecar, if any)."""
+
+    file: str
+    chunks_checked: int = 0
+    chunks_crc_verified: int = 0   # chunks that carried a v2 crc
+    dv_checked: bool = False
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+@dataclass
+class ScrubReport:
+    """Scrub outcome for one table snapshot."""
+
+    path: str
+    generation: int
+    n_rows: int
+    shards: list[ShardReport] = field(default_factory=list)
+    manifest_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.manifest_errors and all(s.ok for s in self.shards)
+
+    @property
+    def errors(self) -> list[str]:
+        out = list(self.manifest_errors)
+        for shard in self.shards:
+            out.extend(f"{shard.file}: {err}" for err in shard.errors)
+        return out
+
+    def summary(self) -> str:
+        lines = [f"scrub {self.path} (generation {self.generation}, "
+                 f"{self.n_rows} rows, {len(self.shards)} shards)"]
+        for shard in self.shards:
+            status = "ok" if shard.ok else \
+                f"FAILED ({len(shard.errors)} error(s))"
+            dv = ", dv ok" if shard.dv_checked and shard.ok else ""
+            lines.append(
+                f"  {shard.file}: {shard.chunks_checked} chunks "
+                f"({shard.chunks_crc_verified} crc-verified{dv}) "
+                f"... {status}")
+            lines.extend(f"    - {err}" for err in shard.errors)
+        lines.extend(f"  manifest: {err}" for err in self.manifest_errors)
+        lines.append("result: " + ("CLEAN" if self.ok else
+                                   f"{len(self.errors)} error(s)"))
+        return "\n".join(lines)
+
+
+def _scrub_chunk(blob: bytes, meta, report: ShardReport) -> None:
+    where = f"column {meta.column!r} rows {meta.row_start}+{meta.n_rows}"
+    if meta.crc is not None:
+        report.chunks_crc_verified += 1
+        if zlib.crc32(blob) != meta.crc:
+            report.errors.append(f"{where}: envelope crc32 mismatch")
+            return  # decoding corrupt bytes proves nothing further
+    try:
+        seq = codecs.from_bytes(blob)
+        values = seq.decode_all()
+    except Exception as exc:
+        report.errors.append(f"{where}: envelope does not revive "
+                             f"({type(exc).__name__}: {exc})")
+        return
+    if len(values) != meta.n_rows:
+        report.errors.append(
+            f"{where}: decoded {len(values)} rows, catalog says "
+            f"{meta.n_rows}")
+        return
+    if len(values):
+        lo, hi = int(values.min()), int(values.max())
+        if lo < meta.zmin or hi > meta.zmax:
+            report.errors.append(
+                f"{where}: values [{lo}, {hi}] escape the zone map "
+                f"[{meta.zmin}, {meta.zmax}] — pruning would drop "
+                "matching rows")
+
+
+def _scrub_shard(directory: str, entry: dict) -> ShardReport:
+    report = ShardReport(file=entry["file"])
+    path = os.path.join(directory, entry["file"])
+    try:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    except OSError as exc:
+        report.errors.append(f"unreadable: {exc}")
+        return report
+    try:
+        footer = unpack_footer(blob)
+    except ValueError as exc:
+        report.errors.append(f"footer: {exc}")
+        return report
+    if footer.n_rows != entry["n_rows"]:
+        report.errors.append(
+            f"footer holds {footer.n_rows} rows, manifest says "
+            f"{entry['n_rows']}")
+    for meta in footer.chunks:
+        report.chunks_checked += 1
+        if meta.offset < 0 or meta.offset + meta.nbytes > len(blob):
+            report.errors.append(
+                f"column {meta.column!r} rows {meta.row_start}+"
+                f"{meta.n_rows}: byte extent [{meta.offset}, "
+                f"{meta.offset + meta.nbytes}) escapes the file")
+            continue
+        _scrub_chunk(blob[meta.offset: meta.offset + meta.nbytes], meta,
+                     report)
+    if entry.get("dv"):
+        report.dv_checked = True
+        dv_path = os.path.join(directory, entry["dv"])
+        try:
+            with open(dv_path, "rb") as fh:
+                deleted = unpack_deletion_vector(fh.read())
+        except (OSError, ValueError) as exc:
+            report.errors.append(f"deletion vector {entry['dv']!r}: {exc}")
+        else:
+            if len(deleted) != entry["n_rows"]:
+                report.errors.append(
+                    f"deletion vector {entry['dv']!r} covers "
+                    f"{len(deleted)} rows, shard holds {entry['n_rows']}")
+    return report
+
+
+def scrub_table(path: str, version: int | None = None) -> ScrubReport:
+    """Verify every checksum and zone-map invariant of one snapshot.
+
+    Never raises on corrupt *data* — broken shards, chunks, and sidecars
+    are collected into the report (a table whose manifest itself cannot
+    be read still raises, there is nothing to walk).
+    """
+    manifest = read_manifest(path, version=version)
+    report = ScrubReport(path=path, generation=manifest.generation,
+                         n_rows=manifest.n_rows)
+    row_start = 0
+    for entry in manifest.shards:
+        report.shards.append(_scrub_shard(path, entry))
+        if entry["row_start"] != row_start:
+            report.manifest_errors.append(
+                f"shard {entry['file']!r} starts at row "
+                f"{entry['row_start']}, chain expects {row_start}")
+        row_start += entry["n_rows"]
+    if row_start != manifest.n_rows:
+        report.manifest_errors.append(
+            f"manifest declares {manifest.n_rows} rows, shard chain "
+            f"holds {row_start}")
+    return report

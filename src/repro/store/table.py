@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import mmap
 import os
+import zlib
 
 import numpy as np
 
-from repro import codecs
+from repro import codecs, faults
+from repro.exec.errors import CorruptChunkError
 from repro.store.cache import DEFAULT_CAPACITY_BYTES, ChunkCache
 from repro.store.executor import ScanResult, run_scan
 from repro.store.format import (
@@ -75,8 +77,9 @@ class Table:
     """Read-only snapshot of one store directory (use :meth:`open`)."""
 
     def __init__(self, path: str, cache_bytes: int = DEFAULT_CAPACITY_BYTES,
-                 version: int | None = None):
+                 version: int | None = None, verify_checksums: bool = True):
         self.path = path
+        self.verify_checksums = verify_checksums
         self.manifest: Manifest = read_manifest(path, version=version)
         self.shards: list[Shard] = []
         try:
@@ -114,10 +117,18 @@ class Table:
 
     @classmethod
     def open(cls, path: str, cache_bytes: int = DEFAULT_CAPACITY_BYTES,
-             version: int | None = None) -> "Table":
+             version: int | None = None,
+             verify_checksums: bool = True) -> "Table":
         """Open the current snapshot, or pin an older published
-        ``version`` of a mutated table (time travel)."""
-        return cls(path, cache_bytes=cache_bytes, version=version)
+        ``version`` of a mutated table (time travel).
+
+        ``verify_checksums=False`` skips the per-chunk crc32 check on
+        cache-miss revive (the un-checksummed baseline the faults bench
+        measures against); corruption then surfaces only as codec decode
+        errors or silently wrong rows — leave it on outside benchmarks.
+        """
+        return cls(path, cache_bytes=cache_bytes, version=version,
+                   verify_checksums=verify_checksums)
 
     @staticmethod
     def versions(path: str) -> list[int]:
@@ -196,16 +207,33 @@ class Table:
     # ------------------------------------------------------------- access
     def chunk_bytes(self, shard_idx: int, meta: ChunkMeta) -> bytes:
         """Raw envelope bytes of one chunk (an mmap copy)."""
-        return self.shards[shard_idx].mmap[meta.offset:
-                                           meta.offset + meta.nbytes]
+        shard = self.shards[shard_idx]
+        faults.fire("chunk.read", file=shard.path, column=meta.column)
+        return shard.mmap[meta.offset: meta.offset + meta.nbytes]
 
     def revive_chunk(self, shard_idx: int, meta: ChunkMeta):
-        """Revive one chunk's encoded sequence from its envelope."""
-        return codecs.from_bytes(self.chunk_bytes(shard_idx, meta))
+        """Revive one chunk's encoded sequence from its envelope.
+
+        On a cache miss this is the end-to-end verification point: the
+        envelope's crc32 (format v2) is checked against the bytes that
+        actually came back from storage, so bit rot anywhere between the
+        writer and the mmap raises :class:`CorruptChunkError` instead of
+        decoding into silently wrong rows.  v1 shards carry no chunk crc
+        and skip the check.
+        """
+        blob = self.chunk_bytes(shard_idx, meta)
+        if self.verify_checksums and meta.crc is not None \
+                and zlib.crc32(blob) != meta.crc:
+            raise CorruptChunkError(
+                "chunk envelope checksum mismatch",
+                file=os.path.basename(self.shards[shard_idx].path),
+                column=meta.column, row_start=meta.row_start,
+                n_rows=meta.n_rows)
+        return codecs.from_bytes(blob)
 
     def scan(self, columns: list[str] | tuple[str, ...] | None = None,
              where: tuple[str, int, int] | None = None, prune: bool = True,
-             threads: int | None = None) -> ScanResult:
+             threads: int | None = None, **opts) -> ScanResult:
         """Projection + predicate-pushdown scan.
 
         Parameters
@@ -223,6 +251,10 @@ class Table:
             unpruned baseline); results are identical.
         threads:
             Shard-level parallelism (``None`` = auto).
+        **opts:
+            Resilience knobs forwarded to the executor —
+            ``on_corruption="raise"|"skip"``, ``timeout_s``,
+            ``io_retries`` (see :func:`repro.exec.run.execute`).
         """
         projection = tuple(columns) if columns is not None \
             else self.column_names
@@ -237,7 +269,7 @@ class Table:
                 raise KeyError(f"unknown predicate column {pred_col!r}; "
                                f"available: {available}")
             where = (pred_col, int(lo), int(hi))
-        return run_scan(self, projection, where, prune, threads)
+        return run_scan(self, projection, where, prune, threads, **opts)
 
     def read_column(self, name: str, threads: int | None = None
                     ) -> np.ndarray:

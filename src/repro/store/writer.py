@@ -27,11 +27,13 @@ from __future__ import annotations
 
 import os
 import re
+import zlib
 
 import numpy as np
 
-from repro import codecs
+from repro import codecs, faults
 from repro.codecs.spec import CodecSpec
+from repro.faults import SimulatedCrash
 from repro.store.format import (
     CURRENT_NAME,
     SHARD_MAGIC,
@@ -46,7 +48,8 @@ from repro.store.format import (
 )
 
 _SHARD_INDEX_RE = re.compile(r"shard-(\d+)\b.*\.rps$")
-_GEN_STATE_RE = re.compile(r"(_table\.\d{6}\.json|.*\.dv|wal-\d+\.log)$")
+_GEN_STATE_RE = re.compile(
+    r"(_table\.\d{6}\.json|.*\.dv|wal-\d+\.log(\.corrupt)?)$")
 
 #: default shard (row group) size in rows
 DEFAULT_SHARD_ROWS = 1 << 16
@@ -247,6 +250,7 @@ class TableWriter:
             raise ValueError("cannot close a writer that ingested no rows")
         for entry in self._shards:
             final = os.path.join(self.path, entry["file"])
+            faults.fire("shard.publish", src=final + ".tmp", dst=final)
             os.replace(final + ".tmp", final)
         if not self._publish_manifest:
             self._closed = True
@@ -272,6 +276,22 @@ class TableWriter:
                 os.remove(os.path.join(self.path, name))
         self._closed = True
 
+    def abort(self) -> None:
+        """Discard the write: remove every staged ``.rps.tmp`` file.
+
+        Leaves a previously published table byte-identical — failure
+        paths (batch rejection, ENOSPC mid-shard, ...) call this so no
+        staging debris survives the writer.  Idempotent.
+        """
+        for entry in self._shards:
+            tmp = os.path.join(self.path, entry["file"] + ".tmp")
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+        self._shards = []
+        self._closed = True
+
     @property
     def shard_entries(self) -> tuple[dict, ...]:
         """Manifest entries of the published shards (after ``close``)."""
@@ -285,6 +305,10 @@ class TableWriter:
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is None:
             self.close()
+        elif not issubclass(exc_type, SimulatedCrash):
+            # real failures clean their staging files; a simulated crash
+            # leaves them (the process "died") for recovery to reap
+            self.abort()
 
     # ----------------------------------------------------------- encoding
     def _codec_spec_for(self, column: str):
@@ -366,15 +390,26 @@ class TableWriter:
                 chunks.append(ChunkMeta(
                     column=name, row_start=start, n_rows=len(seg),
                     offset=len(out), nbytes=len(blob), codec=codec_name,
-                    zmin=zmin, zmax=zmax, bounds=src))
+                    zmin=zmin, zmax=zmax, bounds=src,
+                    crc=zlib.crc32(blob)))
                 out += blob
         row_start = self._start_row + self._rows_written
         out += pack_footer(ShardFooter(
             row_start=row_start, n_rows=n_rows, chunks=tuple(chunks)))
         fname = shard_file_name(self._name_base + len(self._shards),
                                 self._generation)
-        with open(os.path.join(self.path, fname + ".tmp"), "wb") as fh:
-            fh.write(out)
+        tmp = os.path.join(self.path, fname + ".tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                faults.write_through("shard.write", fh, bytes(out))
+        except SimulatedCrash:
+            raise  # a dead process runs no cleanup; reopen must repair
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
         self._shards.append({"file": fname, "row_start": row_start,
                              "n_rows": n_rows})
         self._rows_written += n_rows
