@@ -34,6 +34,7 @@ from repro.exec.errors import (
     ExecError,
     ExecTimeout,
     GranuleError,
+    ServerBusy,
 )
 from repro.exec.expr import (
     And,
@@ -45,9 +46,11 @@ from repro.exec.expr import (
     Range,
     col,
     conjuncts,
+    expr_from_json,
     split_pushdown,
 )
-from repro.exec.plan import AGG_OPS, Plan
+from repro.exec.plan import AGG_OPS, PLAN_JSON_VERSION, Plan
+from repro.exec.pool import MorselScheduler, shared_scheduler
 from repro.exec.run import ExecResult, ExecStats, execute
 from repro.exec.source import (
     ArraySource,
@@ -73,11 +76,16 @@ __all__ = [
     "GranuleError",
     "Granule",
     "InSet",
+    "MorselScheduler",
     "Or",
+    "PLAN_JSON_VERSION",
     "Plan",
     "Range",
+    "ServerBusy",
     "col",
     "conjuncts",
     "execute",
+    "expr_from_json",
+    "shared_scheduler",
     "split_pushdown",
 ]

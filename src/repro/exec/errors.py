@@ -12,11 +12,15 @@ the run loop maps them onto the query's error policy:
   with granule/shard/column context after in-flight work is cancelled.
 * :class:`ExecTimeout` — the query exceeded ``timeout_s``; carries the
   partial :class:`ExecStats` so callers can see how far it got.
+* :class:`ServerBusy` — admission control turned the query away before
+  any work ran: the shared morsel scheduler's in-flight and parked
+  budgets are both full (backpressure, the opposite of a hang).
 """
 
 from __future__ import annotations
 
-__all__ = ["CorruptChunkError", "ExecError", "ExecTimeout", "GranuleError"]
+__all__ = ["CorruptChunkError", "ExecError", "ExecTimeout", "GranuleError",
+           "ServerBusy"]
 
 
 class ExecError(RuntimeError):
@@ -72,6 +76,13 @@ class GranuleError(ExecError):
         self.granule = granule
         self.shard = shard
         self.column = column
+
+
+class ServerBusy(ExecError):
+    """Admission control rejected the query: every execution slot and
+    every parking slot of the scheduler is taken.  Nothing ran — retry
+    later (the error is immediate by design, never a queue-forever).
+    """
 
 
 class ExecTimeout(ExecError):

@@ -27,10 +27,16 @@ Build expressions with the :func:`col` sugar::
     expr = (col("ts").between(1_000, 2_000)
             & (col("sensor_id") == 7)
             & col("status").isin([0, 2]))
+
+Every node also serialises to a plain-JSON dict (:meth:`Expr.to_json` /
+:func:`expr_from_json`) so a whole predicate can cross the wire to a
+table server; bitmaps travel as base64 ``packbits`` payloads.  Unknown
+node kinds reject with a one-line :class:`ValueError`.
 """
 
 from __future__ import annotations
 
+import base64
 from dataclasses import dataclass
 
 import numpy as np
@@ -54,6 +60,10 @@ class Expr:
 
     def evaluate(self, batch: dict, row_ids: np.ndarray) -> np.ndarray:
         """Exact boolean mask over ``batch`` (``row_ids`` are global)."""
+        raise NotImplementedError
+
+    def to_json(self) -> dict:
+        """Plain-JSON form (revive with :func:`expr_from_json`)."""
         raise NotImplementedError
 
     def __and__(self, other: "Expr") -> "Expr":
@@ -101,6 +111,10 @@ class Range(Expr):
             mask &= values < self.hi
         return mask
 
+    def to_json(self) -> dict:
+        return {"kind": "range", "column": self.column,
+                "lo": self.lo, "hi": self.hi}
+
     def intersect(self, other: "Range") -> "Range":
         """Tightest range implied by both conjuncts (same column)."""
         if other.column != self.column:
@@ -145,6 +159,10 @@ class InSet(Expr):
     def evaluate(self, batch, row_ids) -> np.ndarray:
         return np.isin(batch[self.column], self.values)
 
+    def to_json(self) -> dict:
+        return {"kind": "inset", "column": self.column,
+                "values": [int(v) for v in self.values]}
+
     def __repr__(self) -> str:
         shown = ", ".join(str(v) for v in self.values[:6])
         if self.values.size > 6:
@@ -178,6 +196,11 @@ class Bitmap(Expr):
 
     def evaluate(self, batch, row_ids) -> np.ndarray:
         return self.bitmap[row_ids]
+
+    def to_json(self) -> dict:
+        packed = np.packbits(self.bitmap)
+        return {"kind": "bitmap", "n": int(self.bitmap.size),
+                "bits": base64.b64encode(packed.tobytes()).decode("ascii")}
 
     def __repr__(self) -> str:
         return f"bitmap({int(self.bitmap.sum())}/{self.bitmap.size} set)"
@@ -217,6 +240,10 @@ class _Junction(Expr):
     def _parts(self) -> list[str]:
         return [f"({c!r})" if isinstance(c, _Junction) else repr(c)
                 for c in self.children]
+
+    def to_json(self) -> dict:
+        return {"kind": "and" if isinstance(self, And) else "or",
+                "children": [c.to_json() for c in self.children]}
 
 
 class And(_Junction):
@@ -284,6 +311,44 @@ class Col:
 def col(name: str) -> Col:
     """Start an expression: ``col("ts").between(lo, hi)``."""
     return Col(name)
+
+
+def expr_from_json(obj: dict) -> Expr:
+    """Revive an expression from its :meth:`Expr.to_json` dict.
+
+    Rejects unknown node kinds and malformed payloads with a one-line
+    :class:`ValueError` (the wire layer forwards it verbatim).
+    """
+    if not isinstance(obj, dict) or "kind" not in obj:
+        raise ValueError(f"expression JSON must be a dict with a 'kind', "
+                         f"got {type(obj).__name__}")
+    kind = obj["kind"]
+    try:
+        if kind == "range":
+            lo, hi = obj["lo"], obj["hi"]
+            return Range(str(obj["column"]),
+                         None if lo is None else int(lo),
+                         None if hi is None else int(hi))
+        if kind == "inset":
+            return InSet(str(obj["column"]), obj["values"])
+        if kind == "bitmap":
+            packed = np.frombuffer(
+                base64.b64decode(obj["bits"], validate=True),
+                dtype=np.uint8)
+            n = int(obj["n"])
+            if n > packed.size * 8:
+                raise ValueError(
+                    f"bitmap claims {n} rows but carries bits for "
+                    f"at most {packed.size * 8}")
+            return Bitmap(np.unpackbits(packed, count=n).astype(bool))
+        if kind in ("and", "or"):
+            children = [expr_from_json(c) for c in obj["children"]]
+            return (And if kind == "and" else Or).of(*children)
+    except (KeyError, TypeError) as err:
+        raise ValueError(
+            f"malformed {kind!r} expression JSON: {err}") from err
+    raise ValueError(f"unknown expression kind {kind!r}; supported: "
+                     f"range, inset, bitmap, and, or")
 
 
 def conjuncts(expr: Expr) -> tuple[Expr, ...]:

@@ -27,12 +27,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.exec.expr import And, Expr
+from repro.exec.expr import And, Expr, expr_from_json
 
 #: supported aggregate ops
 AGG_OPS = ("sum", "count", "avg", "min", "max")
 #: supported join modes
 JOIN_MODES = ("semi", "inner")
+#: wire version of the plan JSON layout (bump on incompatible changes)
+PLAN_JSON_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -193,6 +195,100 @@ class Plan:
 
         return execute(self, source, threads=threads, prune=prune,
                        pushdown=pushdown, **opts)
+
+    # ----------------------------------------------------------------- wire
+    def to_json(self) -> dict:
+        """Plain-JSON form of the whole plan (for the serve wire layer).
+
+        Round-trips through :meth:`from_json`: every node and every
+        expression tree serialises losslessly (bitmaps as base64
+        ``packbits``, build payloads as value lists).
+        """
+        nodes: list[dict] = []
+        for node in self.nodes:
+            if isinstance(node, Scan):
+                nodes.append({"kind": "scan",
+                              "columns": list(node.columns)
+                              if node.columns is not None else None})
+            elif isinstance(node, Filter):
+                nodes.append({"kind": "filter",
+                              "expr": node.expr.to_json()})
+            elif isinstance(node, Project):
+                nodes.append({"kind": "project",
+                              "columns": list(node.columns)})
+            elif isinstance(node, Aggregate):
+                nodes.append({
+                    "kind": "aggregate",
+                    "aggs": [[out, op, column]
+                             for out, op, column in node.aggs],
+                    "group_by": node.group_by})
+            else:  # HashJoin
+                nodes.append({
+                    "kind": "join", "on": node.on, "how": node.how,
+                    "keys": [int(k) for k in node.keys],
+                    "build": None if node.build is None else
+                    [[name, [int(v) for v in values]]
+                     for name, values in node.build]})
+        return {"v": PLAN_JSON_VERSION, "nodes": nodes}
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "Plan":
+        """Revive a plan from its :meth:`to_json` dict.
+
+        Re-runs every fluent-builder validation, and rejects unknown
+        versions and node kinds with one-line :class:`ValueError`\\ s —
+        the server forwards those verbatim instead of dying.
+        """
+        if not isinstance(obj, dict):
+            raise ValueError(
+                f"plan JSON must be a dict, got {type(obj).__name__}")
+        version = obj.get("v")
+        if version != PLAN_JSON_VERSION:
+            raise ValueError(
+                f"unsupported plan JSON version {version!r} "
+                f"(this reader speaks {PLAN_JSON_VERSION})")
+        nodes = obj.get("nodes")
+        if not isinstance(nodes, list) or not nodes:
+            raise ValueError("plan JSON carries no nodes")
+        first = nodes[0]
+        if not isinstance(first, dict) or first.get("kind") != "scan":
+            raise ValueError("plan JSON must start with a scan node")
+        try:
+            plan = cls.scan(first["columns"])
+            for node in nodes[1:]:
+                kind = node.get("kind") if isinstance(node, dict) \
+                    else None
+                if kind == "filter":
+                    plan = plan.where(expr_from_json(node["expr"]))
+                elif kind == "project":
+                    plan = plan.project(node["columns"])
+                elif kind == "aggregate":
+                    aggs = {out: (op, column)
+                            for out, op, column in node["aggs"]}
+                    if len(aggs) != len(node["aggs"]):
+                        raise ValueError(
+                            "aggregate JSON repeats an output name")
+                    plan = plan.aggregate(aggs,
+                                          group_by=node["group_by"])
+                elif kind == "join":
+                    build = node.get("build")
+                    if build is not None:
+                        build = dict(
+                            [[node["on"], node["keys"]]]
+                            + [[name, values]
+                               for name, values in build])
+                    plan = plan.join(node["on"], keys=node["keys"],
+                                     build=build, how=node["how"])
+                elif kind == "scan":
+                    raise ValueError(
+                        "plan JSON has a second scan node")
+                else:
+                    raise ValueError(
+                        f"unknown plan node kind {kind!r}; supported: "
+                        f"scan, filter, project, aggregate, join")
+        except (KeyError, TypeError) as err:
+            raise ValueError(f"malformed plan JSON: {err}") from err
+        return plan
 
     # ------------------------------------------------------------- explain
     def describe_nodes(self) -> list:

@@ -1,0 +1,328 @@
+"""The shared morsel scheduler: one worker pool, many concurrent plans.
+
+Before PR 7 every :func:`repro.exec.run.execute` call spun up its own
+``ThreadPoolExecutor`` — fine for one caller, but N concurrent queries
+meant N pools fighting over the same cores.  :class:`MorselScheduler`
+is the process-wide replacement: a fixed set of worker threads pulls
+*granules* (not whole queries) from every in-flight plan, so concurrent
+queries interleave at morsel granularity on a bounded number of threads
+instead of oversubscribing.
+
+* **Policy** — ``"fair"`` round-robins one granule per in-flight query
+  per turn (no query starves); ``"sjf"`` always serves the query with
+  the fewest granules still queued (shortest-job-first by
+  remaining-granule estimate — small selective probes overtake big full
+  scans).
+* **Admission control** — at most ``max_inflight`` queries execute at
+  once; up to ``queue_depth`` more park in FIFO order waiting for a
+  slot, and anything beyond that is rejected immediately with
+  :class:`~repro.exec.errors.ServerBusy` (backpressure, never an
+  unbounded pile-up).  Both default to unbounded for the in-process
+  shared scheduler; the table server passes real bounds.
+* **Cancellation** — each query hands in the same ``cancel`` event and
+  deadline the executor's ``timeout_s`` machinery already uses.  When
+  the deadline passes, queued granules are drained without running and
+  workers merely finish the granule they already started — exactly the
+  cooperative contract :class:`~repro.exec.errors.ExecTimeout`
+  documents.
+
+:func:`shared_scheduler` is the lazily-built process-wide instance
+``execute`` uses for auto-threaded queries; servers build their own
+bounded instance.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+
+from repro.exec.errors import ServerBusy
+
+#: cap on auto-selected worker threads (matches the executor's old cap)
+MAX_AUTO_WORKERS = 8
+
+#: scheduling policies
+POLICIES = ("fair", "sjf")
+
+
+class _Job:
+    """One query's granule work registered with the scheduler."""
+
+    __slots__ = ("fn", "queue", "results", "outstanding", "failure",
+                 "cancel", "deadline", "done")
+
+    def __init__(self, fn, items, cancel, deadline):
+        self.fn = fn
+        self.queue = deque(enumerate(items))
+        self.results = [None] * len(items)
+        self.outstanding = len(items)
+        self.failure: BaseException | None = None
+        self.cancel = cancel
+        self.deadline = deadline
+        self.done = threading.Event()
+
+    @property
+    def remaining(self) -> int:
+        """Granules still queued (the SJF job-size estimate)."""
+        return len(self.queue)
+
+
+class MorselScheduler:
+    """Process-wide worker pool interleaving granules of many queries.
+
+    Thread-safe; queries enter through :meth:`run_query` (blocking until
+    their granules finish) and the pool never grows past ``workers``
+    threads no matter how many queries are in flight.
+    """
+
+    def __init__(self, workers: int | None = None, policy: str = "fair",
+                 max_inflight: int | None = None,
+                 queue_depth: int | None = None,
+                 name: str = "morsel-scheduler"):
+        if workers is None:
+            workers = max(1, min(os.cpu_count() or 1, MAX_AUTO_WORKERS))
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; supported: "
+                             f"{', '.join(POLICIES)}")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be positive, got {max_inflight}")
+        if queue_depth is not None and queue_depth < 0:
+            raise ValueError(
+                f"queue_depth must be >= 0, got {queue_depth}")
+        self.workers = workers
+        self.policy = policy
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self._cond = threading.Condition()
+        self._ready: deque[_Job] = deque()   # jobs with queued granules
+        self._admit_queue: deque[object] = deque()  # parked FIFO tickets
+        self._inflight = 0
+        self._closed = False
+        self._shutdown = False
+        # lifetime counters (the server's /stats reads these)
+        self.queries_completed = 0
+        self.queries_rejected = 0
+        self.granules_executed = 0
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"{name}-{i}")
+            for i in range(workers)]
+        for thread in self._threads:
+            thread.start()
+
+    # ---------------------------------------------------------- admission
+    def _admit(self, deadline: float | None) -> bool:
+        """Take an execution slot; park FIFO when full.  Returns False
+        when the query's deadline expired while parked; raises
+        :class:`ServerBusy` when the parking queue is itself full."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            if self.max_inflight is None or (
+                    self._inflight < self.max_inflight
+                    and not self._admit_queue):
+                self._inflight += 1
+                return True
+            if self.queue_depth is not None and \
+                    len(self._admit_queue) >= self.queue_depth:
+                self.queries_rejected += 1
+                raise ServerBusy(
+                    f"scheduler at capacity: {self._inflight} queries in "
+                    f"flight, {len(self._admit_queue)} parked "
+                    f"(max_inflight={self.max_inflight}, "
+                    f"queue_depth={self.queue_depth})")
+            ticket = object()
+            self._admit_queue.append(ticket)
+            while True:
+                if self._closed:
+                    self._admit_queue.remove(ticket)
+                    self._cond.notify_all()
+                    raise RuntimeError("scheduler is closed")
+                if self._admit_queue[0] is ticket and \
+                        self._inflight < self.max_inflight:
+                    self._admit_queue.popleft()
+                    self._inflight += 1
+                    self._cond.notify_all()
+                    return True
+                timeout = None
+                if deadline is not None:
+                    timeout = deadline - time.perf_counter()
+                    if timeout <= 0:
+                        self._admit_queue.remove(ticket)
+                        self._cond.notify_all()
+                        return False
+                self._cond.wait(timeout)
+
+    def _release(self) -> None:
+        with self._cond:
+            self._inflight -= 1
+            self.queries_completed += 1
+            self._cond.notify_all()
+
+    # ---------------------------------------------------------- dispatch
+    def _pick_job_locked(self) -> _Job:
+        """Next job to serve, per policy (caller holds the lock and has
+        checked ``self._ready``)."""
+        if self.policy == "sjf":
+            best = min(range(len(self._ready)),
+                       key=lambda i: self._ready[i].remaining)
+            job = self._ready[best]
+            del self._ready[best]
+            return job
+        return self._ready.popleft()
+
+    def _drain_locked(self, job: _Job) -> None:
+        """Drop a job's queued granules without running them (deadline
+        passed or a sibling granule failed)."""
+        drained = len(job.queue)
+        job.queue.clear()
+        try:
+            self._ready.remove(job)
+        except ValueError:
+            pass  # a worker already holds (or finished) the last granule
+        job.outstanding -= drained
+        if job.outstanding == 0:
+            job.done.set()
+
+    def _complete_locked(self, job: _Job, idx: int, result) -> None:
+        job.results[idx] = result
+        job.outstanding -= 1
+        self.granules_executed += 1
+        if job.outstanding == 0:
+            job.done.set()
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._ready and not self._shutdown:
+                    self._cond.wait()
+                if self._shutdown and not self._ready:
+                    return
+                job = self._pick_job_locked()
+                idx, item = job.queue.popleft()
+                if job.queue:
+                    self._ready.append(job)
+            result = None
+            if job.failure is None:
+                try:
+                    result = job.fn(item)
+                except BaseException as err:  # first failure cancels the job
+                    with self._cond:
+                        if job.failure is None:
+                            job.failure = err
+                        job.cancel.set()
+                        self._drain_locked(job)
+                        self._complete_locked(job, idx, None)
+                    continue
+            with self._cond:
+                self._complete_locked(job, idx, result)
+
+    # ------------------------------------------------------------- queries
+    def run_query(self, fn, items, cancel: threading.Event,
+                  deadline: float | None = None) -> list:
+        """Run ``fn(item)`` for every item on the shared pool.
+
+        Blocks until the job finishes (or its deadline drains it) and
+        returns results in item order — ``None`` where a granule was
+        skipped by cancellation.  The first worker exception re-raises
+        here; :class:`ServerBusy` raises before any work when admission
+        rejects the query.
+        """
+        items = list(items)
+        if not self._admit(deadline):
+            return [None] * len(items)  # deadline spent parked: 0/N ran
+        job = _Job(fn, items, cancel, deadline)
+        try:
+            if not items:
+                return []
+            with self._cond:
+                self._ready.append(job)
+                self._cond.notify_all()
+            while not job.done.wait(
+                    timeout=None if deadline is None
+                    else max(deadline - time.perf_counter(), 0.0) + 0.01):
+                if deadline is not None and \
+                        time.perf_counter() > deadline:
+                    cancel.set()
+                    with self._cond:
+                        self._drain_locked(job)
+                    job.done.wait()  # in-flight granules finish theirs
+                    break
+        finally:
+            self._release()
+        if job.failure is not None:
+            raise job.failure
+        return job.results
+
+    # --------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        """Current occupancy + lifetime counters (for ``/stats``)."""
+        with self._cond:
+            return {
+                "workers": self.workers,
+                "policy": self.policy,
+                "max_inflight": self.max_inflight,
+                "queue_depth": self.queue_depth,
+                "inflight": self._inflight,
+                "parked": len(self._admit_queue),
+                "queries_completed": self.queries_completed,
+                "queries_rejected": self.queries_rejected,
+                "granules_executed": self.granules_executed,
+            }
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self, drain: bool = True, timeout: float | None = None
+              ) -> None:
+        """Stop accepting queries; optionally wait for in-flight ones.
+
+        ``drain=True`` blocks (up to ``timeout``) until every admitted
+        query finishes before stopping the workers; parked queries are
+        woken with an error either way.
+        """
+        deadline = None if timeout is None \
+            else time.perf_counter() + timeout
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+            if drain:
+                while self._inflight > 0:
+                    remaining = None if deadline is None \
+                        else deadline - time.perf_counter()
+                    if remaining is not None and remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+            self._shutdown = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MorselScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ------------------------------------------------------- shared instance
+_shared: MorselScheduler | None = None
+_shared_lock = threading.Lock()
+
+
+def shared_scheduler() -> MorselScheduler:
+    """The process-wide scheduler auto-threaded ``execute`` calls share.
+
+    Built lazily (workers = ``min(cpu, 8)``, fair policy, unbounded
+    admission — a plain ``execute`` call must never see
+    :class:`ServerBusy`) and never torn down: its threads are daemons.
+    """
+    global _shared
+    if _shared is None:
+        with _shared_lock:
+            if _shared is None:
+                _shared = MorselScheduler(name="repro-exec-shared")
+    return _shared

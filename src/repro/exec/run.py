@@ -69,6 +69,7 @@ class ExecStats:
     reads: int = 0             # read operations charged
     cache_hits: int = 0        # chunk loads served from the LRU cache
     cache_misses: int = 0      # chunk loads the cache could not serve
+    cache_evictions: int = 0   # entries this query's inserts evicted
     rows_scanned: int = 0      # rows surviving the filter
     rows_masked: int = 0       # rows positional bitmaps (e.g. deletion
     #                            vectors) suppressed in scanned granules
@@ -90,6 +91,7 @@ class ExecStats:
         self.reads += other.reads
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.cache_evictions += other.cache_evictions
         self.rows_scanned += other.rows_scanned
         self.rows_masked += other.rows_masked
         self.chunks_corrupt += other.chunks_corrupt
@@ -166,7 +168,8 @@ class ExecResult:
                   f"{stats.granules_pruned} pruned; "
                   f"chunks: {stats.chunks_scanned} scanned; "
                   f"cache: {stats.cache_hits} hits, "
-                  f"{stats.cache_misses} misses")
+                  f"{stats.cache_misses} misses, "
+                  f"{stats.cache_evictions} evicted")
         if stats.chunks_corrupt:
             pruned += f"; corrupt: {stats.chunks_corrupt} quarantined"
         if stats.io_retries:
@@ -321,14 +324,20 @@ def execute(plan: Plan, source, threads: int | None = None,
             prune: bool = True, pushdown: bool = True,
             on_corruption: str = "raise",
             timeout_s: float | None = None,
-            io_retries: int = DEFAULT_IO_RETRIES) -> ExecResult:
+            io_retries: int = DEFAULT_IO_RETRIES,
+            scheduler=None) -> ExecResult:
     """Run ``plan`` over ``source``.
 
     Parameters
     ----------
     threads:
         Granule-level parallelism (``None`` = auto; clamped to 1 for
-        sources that are not ``parallel_safe``).
+        sources that are not ``parallel_safe``).  Auto-threaded queries
+        run on the process-wide shared
+        :class:`~repro.exec.pool.MorselScheduler` — one worker pool no
+        matter how many queries are in flight; an *explicit* count
+        keeps the legacy per-call pool (the pool-per-query baseline
+        ``BENCH_serve.json`` measures against).
     prune:
         Zone-map granule pruning (disable for the unpruned baseline;
         results are identical).
@@ -351,6 +360,12 @@ def execute(plan: Plan, source, threads: int | None = None,
         that fail with a transient ``EIO``; anything else — or the same
         granule failing past the budget — propagates wrapped in
         :class:`GranuleError`.
+    scheduler:
+        An explicit :class:`~repro.exec.pool.MorselScheduler` to run
+        granules on (the table server passes its bounded instance, so
+        admission control and fair/SJF interleaving apply; may raise
+        :class:`~repro.exec.errors.ServerBusy`).  ``None`` uses the
+        shared process pool for auto-threaded queries.
     """
     if on_corruption not in ("raise", "skip"):
         raise ValueError(
@@ -548,13 +563,26 @@ def execute(plan: Plan, source, threads: int | None = None,
     partials: list[_Partial] = []
     timed_out = False
     failure: BaseException | None = None
-    if n_threads == 1 or len(granules) <= 1:
+    if scheduler is None and (n_threads == 1 or len(granules) <= 1):
         for granule in granules:
             part = run_granule(granule)
             if part is None:
                 timed_out = True
                 break
             partials.append(part)
+    elif scheduler is not None or threads is None:
+        # the shared morsel scheduler: granules from every in-flight
+        # query interleave on one process-wide pool (an explicit
+        # ``threads=N`` keeps the legacy per-call pool below)
+        from repro.exec.pool import shared_scheduler
+
+        sched = scheduler if scheduler is not None else shared_scheduler()
+        for part in sched.run_query(run_granule, granules, cancel,
+                                    deadline):
+            if part is None:
+                timed_out = True
+            else:
+                partials.append(part)
     else:
         with ThreadPoolExecutor(max_workers=n_threads) as pool:
             futures = [pool.submit(run_granule, g) for g in granules]

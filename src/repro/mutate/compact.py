@@ -129,6 +129,7 @@ class BackgroundCompactor:
         self.interval_s = interval_s
         self.history: list[int] = []  # generations committed
         self.errors: list[Exception] = []
+        self.crashed: SimulatedCrash | None = None  # fault-injected death
         self._wake = threading.Event()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
@@ -149,6 +150,13 @@ class BackgroundCompactor:
                 break
             try:
                 generation = self.table.compact(self.threshold)
+            except SimulatedCrash as crash:
+                # the injected crash kills THIS thread, like a process
+                # dying mid-compaction: no cleanup, no retry — recovery
+                # happens on the next open, never here
+                self.crashed = crash
+                self._stop.set()
+                return
             except Exception as exc:  # surfaced via .errors, not lost
                 self.errors.append(exc)
             else:

@@ -1,0 +1,114 @@
+"""``ServeClient`` — small blocking client for :class:`TableServer`.
+
+One TCP connection, one request in flight at a time; responses arrive
+in request order.  Server-side failures come back as typed exceptions:
+:class:`~repro.exec.errors.ServerBusy` when admission control rejects,
+:class:`~repro.exec.errors.ExecTimeout` when the per-request deadline
+fires, plain :class:`RuntimeError` carrying the server's one-line
+message otherwise.
+
+::
+
+    with ServeClient(host, port) as client:
+        res = client.query("events", plan, timeout_s=5.0, limit=100)
+        res["columns"]["value"]        # numpy arrays, limit-capped
+        print(client.explain("events", plan)["explain"])
+        client.stats()["latency_ms"]["p99"]
+"""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+
+from repro.exec.errors import CorruptChunkError, ExecTimeout, ServerBusy
+from repro.serve import wire
+
+#: server error kinds revived as their local exception types
+_TYPED = {
+    "ServerBusy": ServerBusy,
+    "ExecTimeout": ExecTimeout,
+    "CorruptChunkError": CorruptChunkError,
+}
+
+
+class ServeClient:
+    """Blocking request/response client over one long-lived socket."""
+
+    def __init__(self, host: str, port: int,
+                 connect_timeout_s: float = 5.0):
+        self._sock = socket.create_connection(
+            (host, port), timeout=connect_timeout_s)
+        self._sock.settimeout(None)  # requests block until the response
+
+    # ---------------------------------------------------------- transport
+    def _call(self, req: dict) -> dict:
+        req.setdefault("v", wire.WIRE_VERSION)
+        wire.send_frame(self._sock, req)
+        resp = wire.recv_frame(self._sock)
+        if resp is None:
+            raise ConnectionError("server closed the connection")
+        if resp.get("ok"):
+            return resp["result"]
+        kind = resp.get("kind", "RuntimeError")
+        message = resp.get("error", "server error")
+        raise _TYPED.get(kind, RuntimeError)(message)
+
+    # ----------------------------------------------------------------- ops
+    def ping(self) -> str:
+        return self._call({"op": "ping"})
+
+    def list_tables(self) -> list[str]:
+        return self._call({"op": "list_tables"})
+
+    def stats(self) -> dict:
+        return self._call({"op": "stats"})
+
+    def query(self, table: str, plan, timeout_s: float | None = None,
+              limit: int | None = None, **opts) -> dict:
+        """Execute ``plan`` (a :class:`~repro.exec.plan.Plan` or an
+        already-encoded plan dict) and return the decoded result:
+        ``n_rows`` / ``stats`` / ``explain`` plus either ``groups``
+        (list of ``[key, row]`` pairs) or numpy ``row_ids``/``columns``
+        capped at ``limit``."""
+        result = self._call(self._request("query", table, plan,
+                                          timeout_s, limit, opts))
+        if result.get("row_ids") is not None:
+            result["row_ids"] = np.asarray(result["row_ids"],
+                                           dtype=np.int64)
+            result["columns"] = {
+                name: np.asarray(values, dtype=np.int64)
+                for name, values in result["columns"].items()}
+        return result
+
+    def explain(self, table: str, plan,
+                timeout_s: float | None = None, **opts) -> dict:
+        """Execute and return stats + annotated plan, no row payload."""
+        return self._call(self._request("explain", table, plan,
+                                        timeout_s, None, opts))
+
+    @staticmethod
+    def _request(op, table, plan, timeout_s, limit, opts) -> dict:
+        payload = plan.to_json() if hasattr(plan, "to_json") else plan
+        req: dict = {"op": op, "table": table, "plan": payload}
+        if timeout_s is not None:
+            req["timeout_s"] = timeout_s
+        if limit is not None:
+            req["limit"] = limit
+        if opts:
+            req["opts"] = opts
+        return req
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,321 @@
+"""``TableServer`` — many concurrent clients, one scheduler, one cache.
+
+The serving shape of the whole stack: a socket server that accepts
+length-prefixed JSON requests (see :mod:`repro.serve.wire`) from many
+concurrent connections and executes their plans over the store through
+**shared resources**:
+
+* one :class:`~repro.exec.pool.MorselScheduler` — granules from every
+  in-flight query interleave on a fixed worker pool (fair-share or
+  shortest-job-first), with admission control turning overload into
+  :class:`~repro.exec.errors.ServerBusy` responses instead of a pile-up;
+* one :class:`~repro.store.cache.ChunkCache` — every table the server
+  opens revives chunks through the same bounded LRU, with per-query
+  hit/miss/eviction attribution flowing into each response's stats;
+* per-request deadlines — ``timeout_s`` rides the executor's
+  cooperative-cancellation machinery, and a request that spends its
+  whole budget parked in the admission queue times out too.
+
+Tables are the subdirectories of ``root`` that hold a store manifest
+(or ``root`` itself when it is a table).  Each is opened once, lazily,
+as an immutable snapshot — restart the server to pick up new published
+generations.  Shutdown is graceful: in-flight requests complete, new
+ones are refused, then sockets close.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from repro.exec import Plan
+from repro.exec.errors import ServerBusy
+from repro.exec.pool import MorselScheduler
+from repro.serve import wire
+from repro.store.cache import DEFAULT_CAPACITY_BYTES, ChunkCache
+from repro.store.executor import StoreSource
+from repro.store.table import Table
+
+#: executor knobs a request may set (anything else is rejected)
+ALLOWED_OPTS = ("prune", "pushdown", "on_corruption", "io_retries")
+
+#: per-request deadline when the client does not send one
+DEFAULT_TIMEOUT_S = 30.0
+
+#: recent request latencies kept for the /stats percentiles
+LATENCY_WINDOW = 4096
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values), q))
+
+
+class TableServer:
+    """Serve store tables under ``root`` to concurrent socket clients.
+
+    ``shared=True`` (the default) runs every query on one bounded
+    morsel scheduler; ``shared=False`` is the pool-per-query baseline
+    (each request spins its own executor pool) that
+    ``benchmarks/bench_serve.py`` measures the scheduler against.
+    """
+
+    def __init__(self, root: str, host: str = "127.0.0.1", port: int = 0,
+                 workers: int | None = None, policy: str = "fair",
+                 max_inflight: int = 8, queue_depth: int = 16,
+                 cache_bytes: int = DEFAULT_CAPACITY_BYTES,
+                 default_timeout_s: float = DEFAULT_TIMEOUT_S,
+                 shared: bool = True):
+        self.root = root
+        self.default_timeout_s = default_timeout_s
+        self.shared = shared
+        self.scheduler = MorselScheduler(
+            workers=workers, policy=policy, max_inflight=max_inflight,
+            queue_depth=queue_depth, name="repro-serve") if shared \
+            else None
+        self._baseline_threads = workers
+        self.cache = ChunkCache(cache_bytes)
+        self._tables: dict[str, tuple[Table, StoreSource]] = {}
+        self._tables_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self.queries_total = 0
+        self.queries_ok = 0
+        self.queries_err = 0
+        self.rejected_busy = 0
+        self._started = time.perf_counter()
+        self._draining = threading.Event()
+        self._conn_threads: list[threading.Thread] = []
+        self._accept_thread: threading.Thread | None = None
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(128)
+        self.address: tuple[str, int] = self._sock.getsockname()
+
+    # ------------------------------------------------------------- tables
+    def table_names(self) -> list[str]:
+        """Discover every servable table under ``root``."""
+
+        def is_table(path: str) -> bool:
+            return os.path.exists(os.path.join(path, "CURRENT")) or \
+                os.path.exists(os.path.join(path, "_table.json"))
+
+        if is_table(self.root):
+            return [os.path.basename(os.path.abspath(self.root))]
+        return sorted(
+            name for name in os.listdir(self.root)
+            if os.path.isdir(os.path.join(self.root, name))
+            and is_table(os.path.join(self.root, name)))
+
+    def _resolve(self, name) -> tuple[Table, StoreSource]:
+        if not isinstance(name, str) or not name or os.sep in name \
+                or name in (".", ".."):
+            raise ValueError(f"bad table name {name!r}")
+        with self._tables_lock:
+            entry = self._tables.get(name)
+            if entry is not None:
+                return entry
+            known = self.table_names()
+            if name not in known:
+                raise ValueError(
+                    f"unknown table {name!r}; available: "
+                    f"{', '.join(known) or '(none)'}")
+            path = self.root if os.path.basename(
+                os.path.abspath(self.root)) == name and \
+                not os.path.isdir(os.path.join(self.root, name)) \
+                else os.path.join(self.root, name)
+            table = Table.open(path, cache=self.cache)
+            source = StoreSource(table)
+            self._tables[name] = (table, source)
+            return self._tables[name]
+
+    # ------------------------------------------------------------ request
+    def _handle_request(self, req: dict) -> dict:
+        version = req.get("v")
+        if version != wire.WIRE_VERSION:
+            raise ValueError(
+                f"unsupported request version {version!r} "
+                f"(this server speaks {wire.WIRE_VERSION})")
+        op = req.get("op")
+        if op not in wire.OPS:
+            raise ValueError(f"unknown op {op!r}; supported: "
+                             f"{', '.join(wire.OPS)}")
+        if op == "ping":
+            return {"ok": True, "result": "pong"}
+        if op == "stats":
+            return {"ok": True, "result": self.stats()}
+        if op == "list_tables":
+            return {"ok": True, "result": self.table_names()}
+        # query / explain share the execution path
+        _, source = self._resolve(req.get("table"))
+        plan = Plan.from_json(req.get("plan"))
+        opts = req.get("opts") or {}
+        unknown = [k for k in opts if k not in ALLOWED_OPTS]
+        if unknown:
+            raise ValueError(
+                f"unknown option(s) {', '.join(map(repr, unknown))}; "
+                f"allowed: {', '.join(ALLOWED_OPTS)}")
+        timeout_s = req.get("timeout_s")
+        if timeout_s is None:
+            timeout_s = self.default_timeout_s
+        limit = req.get("limit")
+        if self.shared:
+            res = plan.execute(source, scheduler=self.scheduler,
+                               timeout_s=timeout_s, **opts)
+        else:
+            res = plan.execute(source, threads=self._baseline_threads
+                               or None, timeout_s=timeout_s, **opts)
+        return {"ok": True, "result": wire.encode_result(
+            res, limit=limit, include_rows=(op == "query"))}
+
+    def _serve_one(self, req: dict) -> dict:
+        start = time.perf_counter()
+        try:
+            response = self._handle_request(req)
+        except ServerBusy as err:
+            with self._stats_lock:
+                self.queries_total += 1
+                self.rejected_busy += 1
+            return wire.error_response(err)
+        except Exception as err:  # typed, one line, server stays up
+            with self._stats_lock:
+                self.queries_total += 1
+                self.queries_err += 1
+            return wire.error_response(err)
+        elapsed = time.perf_counter() - start
+        with self._stats_lock:
+            self.queries_total += 1
+            if req.get("op") in ("query", "explain"):
+                self.queries_ok += 1
+                self._latencies.append(elapsed)
+        return response
+
+    # -------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        """The ``/stats`` report: load, latency, cache, scheduler."""
+        uptime = time.perf_counter() - self._started
+        with self._stats_lock:
+            window = list(self._latencies)
+            totals = {
+                "queries_total": self.queries_total,
+                "queries_ok": self.queries_ok,
+                "queries_err": self.queries_err,
+                "rejected_busy": self.rejected_busy,
+            }
+        sched = self.scheduler.stats() if self.scheduler is not None \
+            else {"mode": "pool-per-query",
+                  "threads": self._baseline_threads}
+        return {
+            "uptime_s": uptime,
+            "mode": "shared-scheduler" if self.shared
+            else "pool-per-query",
+            **totals,
+            "qps": totals["queries_ok"] / uptime if uptime else 0.0,
+            "inflight": sched.get("inflight", 0),
+            "queue_depth": sched.get("parked", 0),
+            "latency_ms": {
+                "p50": _percentile(window, 50) * 1e3,
+                "p90": _percentile(window, 90) * 1e3,
+                "p99": _percentile(window, 99) * 1e3,
+                "window": len(window),
+            },
+            "cache": self.cache.stats(),
+            "scheduler": sched,
+            "tables": self.table_names(),
+        }
+
+    # ---------------------------------------------------------- lifecycle
+    def start(self) -> "TableServer":
+        """Accept connections on a background thread (in-process use)."""
+        if self._accept_thread is not None:
+            raise ValueError("server already started")
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="repro-serve-accept")
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Accept connections on the calling thread (``__main__`` use)."""
+        self._accept_loop()
+
+    def _accept_loop(self) -> None:
+        self._sock.settimeout(0.25)
+        while not self._draining.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed under us: shutting down
+            thread = threading.Thread(
+                target=self._connection, args=(conn,), daemon=True,
+                name="repro-serve-conn")
+            thread.start()
+            self._conn_threads.append(thread)
+            # reap finished handlers so the list stays bounded
+            self._conn_threads = [t for t in self._conn_threads
+                                  if t.is_alive()]
+
+    def _connection(self, conn: socket.socket) -> None:
+        conn.settimeout(0.25)
+        try:
+            while True:
+                try:
+                    req = wire.recv_frame(conn)
+                except socket.timeout:
+                    if self._draining.is_set():
+                        return  # idle connection at shutdown: drop it
+                    continue
+                except wire.WireError:
+                    # the byte stream is unusable — nothing sane to
+                    # answer on it; drop the connection, keep serving
+                    return
+                if req is None:
+                    return  # peer closed cleanly
+                conn.settimeout(None)  # don't tear mid-response
+                try:
+                    wire.send_frame(conn, self._serve_one(req))
+                except OSError:
+                    return  # peer vanished mid-response
+                conn.settimeout(0.25)
+                if self._draining.is_set():
+                    return  # response delivered; drain this connection
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Graceful drain: finish in-flight requests, refuse new ones,
+        then close every socket and the scheduler."""
+        self._draining.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=timeout)
+            self._accept_thread = None
+        deadline = time.perf_counter() + timeout
+        for thread in self._conn_threads:
+            thread.join(timeout=max(deadline - time.perf_counter(), 0.1))
+        if self.scheduler is not None:
+            self.scheduler.close(drain=True, timeout=timeout)
+        with self._tables_lock:
+            for table, _ in self._tables.values():
+                table.close()
+            self._tables.clear()
+
+    def __enter__(self) -> "TableServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

@@ -1,0 +1,133 @@
+"""Wire protocol of the table server: length-prefixed JSON frames.
+
+One frame = a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  Requests and responses are single frames on a
+long-lived connection (a client may pipeline request after request).
+
+Request shape::
+
+    {"v": 1, "op": "query" | "explain" | "stats" | "list_tables",
+     "table": "name",            # query / explain
+     "plan": {...},              # Plan.to_json() payload
+     "timeout_s": 5.0,           # optional per-request deadline
+     "limit": 100,               # optional row cap on the response
+     "opts": {"prune": true, "pushdown": true,
+              "on_corruption": "raise"}}
+
+Response shape::
+
+    {"ok": true, "result": {...}}
+    {"ok": false, "kind": "ServerBusy", "error": "one line"}
+
+``kind`` names the exception class so the client can re-raise typed
+errors (:class:`~repro.exec.errors.ServerBusy`,
+:class:`~repro.exec.errors.ExecTimeout`, ...).  Oversized frames and
+unknown protocol versions are rejected with one-line errors — a
+malformed request never takes the server down.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+#: wire protocol version (checked on every request)
+WIRE_VERSION = 1
+
+#: refuse frames past this size (corrupt length prefix / abuse guard)
+MAX_FRAME_BYTES = 64 << 20
+
+#: request operations the server understands
+OPS = ("query", "explain", "stats", "list_tables", "ping")
+
+_LEN = struct.Struct(">I")
+
+
+class WireError(ValueError):
+    """The byte stream itself is unusable (bad length, torn frame)."""
+
+
+def send_frame(sock: socket.socket, obj: dict) -> None:
+    """Serialise ``obj`` and write one frame."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap")
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on clean EOF at a frame edge."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise WireError(f"connection closed mid-frame "
+                            f"({got}/{n} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one frame; ``None`` when the peer closed cleanly."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} exceeds the "
+                        f"{MAX_FRAME_BYTES}-byte cap")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise WireError("connection closed between header and payload")
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise WireError(f"frame payload is not valid JSON: {err}") from err
+    if not isinstance(obj, dict):
+        raise WireError(
+            f"frame payload must be a JSON object, "
+            f"got {type(obj).__name__}")
+    return obj
+
+
+def encode_result(res, limit: int | None = None,
+                  include_rows: bool = True) -> dict:
+    """JSON-encode an :class:`~repro.exec.run.ExecResult`.
+
+    ``limit`` caps the row payload (stats always describe the full
+    execution); ``include_rows=False`` drops row data entirely (the
+    ``explain`` op wants the annotated plan and stats, not rows).
+    Groups travel as ``[key, row]`` pairs because JSON object keys are
+    strings.
+    """
+    from dataclasses import asdict
+
+    out: dict = {
+        "n_rows": int(res.n_rows),
+        "stats": asdict(res.stats),
+        "explain": res.explain(),
+    }
+    if res.groups is not None:
+        out["groups"] = [[key, row] for key, row in res.groups.items()]
+    else:
+        out["groups"] = None
+    if include_rows and res.groups is None:
+        n = res.n_rows if limit is None else min(limit, res.n_rows)
+        out["row_ids"] = [int(v) for v in res.row_ids[:n]]
+        out["columns"] = {name: [int(v) for v in values[:n]]
+                          for name, values in res.columns.items()}
+        out["truncated"] = n < res.n_rows
+    return out
+
+
+def error_response(err: BaseException) -> dict:
+    """One-line typed error frame for any failure."""
+    message = str(err).splitlines()[0] if str(err) else type(err).__name__
+    return {"ok": False, "kind": type(err).__name__, "error": message}

@@ -6,7 +6,16 @@ revived sequences across scans so warm queries skip the mmap read and the
 envelope parse entirely.  Capacity is bounded in *stored chunk bytes* (the
 honest proxy for the decoded footprint of the lightweight codecs), entries
 are evicted least-recently-used, and all operations are lock-protected so
-the thread-pool executor can share one cache.
+the thread-pool executor — and, since PR 7, *every query of a table
+server* — can share one cache.
+
+Attribution contract: the global :attr:`hits` / :attr:`misses` /
+:attr:`evictions` counters are monotonic totals for operators (the
+server's ``/stats`` hit rate).  Per-query accounting never reads them —
+:meth:`get_or_load` returns this call's own ``(hit, evictions)`` outcome
+so concurrent queries each charge exactly their own deltas to their own
+:class:`~repro.exec.run.ExecStats`, instead of diffing a racy global
+snapshot.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ class ChunkCache:
         self._used_bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -41,9 +51,26 @@ class ChunkCache:
         with self._lock:
             return self._used_bytes
 
+    def stats(self) -> dict:
+        """One consistent snapshot of the global counters (operators
+        only — per-query attribution uses :meth:`get_or_load`'s return)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "used_bytes": self._used_bytes,
+                "capacity_bytes": self.capacity_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }
+
     def get_or_load(self, key: Hashable, loader: Callable[[], Any],
-                    nbytes: int) -> tuple[Any, bool]:
-        """Return ``(value, was_hit)``; ``loader`` runs outside the lock.
+                    nbytes: int) -> tuple[Any, bool, int]:
+        """Return ``(value, was_hit, evictions)``; ``loader`` runs outside
+        the lock.  ``evictions`` counts the entries *this call's* insert
+        pushed out — the caller charges them to its own query stats.
 
         Two threads racing on the same absent key may both load; the second
         insert wins harmlessly (values are immutable revived sequences).
@@ -53,20 +80,25 @@ class ChunkCache:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return entry[0], True
+                return entry[0], True, 0
             self.misses += 1
         value = loader()
+        evicted = 0
         with self._lock:
             if key not in self._entries:
                 self._entries[key] = (value, nbytes)
                 self._used_bytes += nbytes
-                self._evict_locked()
-        return value, False
+                evicted = self._evict_locked()
+        return value, False, evicted
 
-    def _evict_locked(self) -> None:
+    def _evict_locked(self) -> int:
+        evicted = 0
         while self._used_bytes > self.capacity_bytes and len(self._entries) > 1:
             _, (_, dropped) = self._entries.popitem(last=False)
             self._used_bytes -= dropped
+            evicted += 1
+        self.evictions += evicted
+        return evicted
 
     def clear(self) -> None:
         with self._lock:

@@ -34,7 +34,7 @@ import json
 import sys
 import time
 
-from repro.exec import Plan, Range
+from repro.exec import ExecTimeout, Plan, Range
 from repro.store.executor import StoreSource
 from repro.store.table import Table
 from repro.store.writer import (
@@ -200,8 +200,21 @@ def _cmd_scan(args) -> int:
         if args.where is not None:
             pred_col, lo, hi = args.where
             plan = plan.where(Range(pred_col, lo, hi))
-        result = plan.execute(StoreSource(table), threads=args.threads,
-                              prune=not args.no_prune)
+        try:
+            result = plan.execute(StoreSource(table),
+                                  threads=args.threads,
+                                  prune=not args.no_prune,
+                                  timeout_s=args.timeout_s)
+        except ExecTimeout as exc:
+            stats = exc.stats
+            print(f"error: {exc}", file=sys.stderr)
+            if stats is not None:
+                print(f"  partial work before the deadline: "
+                      f"{stats.chunks_scanned} chunks scanned, "
+                      f"{stats.granules_pruned} pruned, "
+                      f"{stats.bytes_read} bytes read in "
+                      f"{stats.wall_s * 1e3:.1f} ms", file=sys.stderr)
+            return 1
         stats = result.stats
         rate = result.n_rows / max(stats.wall_s, 1e-9)
         print(f"{result.n_rows} rows in {stats.wall_s * 1e3:.1f} ms "
@@ -211,7 +224,8 @@ def _cmd_scan(args) -> int:
               f"{stats.chunks_scanned} scanned  "
               f"bytes read: {stats.bytes_read}  "
               f"(scanned: {stats.bytes_scanned}, cache: "
-              f"{stats.cache_hits} hits, {stats.cache_misses} misses)")
+              f"{stats.cache_hits} hits, {stats.cache_misses} misses, "
+              f"{stats.cache_evictions} evicted)")
         if args.explain:
             print(result.explain())
         names = list(result.columns)
@@ -261,6 +275,9 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--version", type=int, default=None,
                       help="time-travel to a published generation")
     scan.add_argument("--threads", type=int, default=None)
+    scan.add_argument("--timeout-s", type=float, default=None,
+                      help="cancel the scan after this many seconds "
+                           "(prints partial stats, exits 1)")
     scan.add_argument("--no-prune", action="store_true",
                       help="disable zone-map pruning (baseline)")
     scan.add_argument("--explain", action="store_true",

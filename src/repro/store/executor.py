@@ -43,6 +43,7 @@ class ScanStats:
     bytes_read: int = 0       # stored bytes actually read (cache misses)
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0  # entries this scan's inserts evicted
     rows_scanned: int = 0     # rows surviving the predicate
     rows_masked: int = 0      # rows deletion vectors suppressed
     chunks_corrupt: int = 0   # granules quarantined (on_corruption=skip)
@@ -56,6 +57,7 @@ class ScanStats:
         self.bytes_read += other.bytes_read
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.cache_evictions += other.cache_evictions
         self.rows_scanned += other.rows_scanned
         self.rows_masked += other.rows_masked
         self.chunks_corrupt += other.chunks_corrupt
@@ -144,13 +146,18 @@ class StoreSource(ColumnSource):
                 stats.bytes_read += meta.nbytes
                 stats.reads += 1
             return loader()
-        seq, hit = table.cache.get_or_load((shard_idx, meta.offset),
-                                           loader, meta.nbytes)
+        # the key is (shard *path*, offset), not (index, offset): a
+        # server-shared cache spans many tables, and shard indices —
+        # unlike generation-suffixed shard file paths — collide
+        seq, hit, evicted = table.cache.get_or_load(
+            (table.shards[shard_idx].path, meta.offset),
+            loader, meta.nbytes)
         if stats is not None:
             if hit:
                 stats.cache_hits += 1
             else:
                 stats.cache_misses += 1
+                stats.cache_evictions += evicted
                 stats.bytes_read += meta.nbytes
                 stats.reads += 1
         return seq
@@ -184,6 +191,7 @@ def run_scan(table, projection: tuple[str, ...],
         bytes_read=res.stats.bytes_read,
         cache_hits=res.stats.cache_hits,
         cache_misses=res.stats.cache_misses,
+        cache_evictions=res.stats.cache_evictions,
         rows_scanned=res.stats.rows_scanned,
         rows_masked=res.stats.rows_masked,
         chunks_corrupt=res.stats.chunks_corrupt,

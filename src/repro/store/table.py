@@ -77,7 +77,8 @@ class Table:
     """Read-only snapshot of one store directory (use :meth:`open`)."""
 
     def __init__(self, path: str, cache_bytes: int = DEFAULT_CAPACITY_BYTES,
-                 version: int | None = None, verify_checksums: bool = True):
+                 version: int | None = None, verify_checksums: bool = True,
+                 cache: ChunkCache | None = None):
         self.path = path
         self.verify_checksums = verify_checksums
         self.manifest: Manifest = read_manifest(path, version=version)
@@ -111,14 +112,18 @@ class Table:
             for shard in self.shards:
                 shard.close()
             raise
-        self.cache: ChunkCache | None = \
-            ChunkCache(cache_bytes) if cache_bytes else None
+        # a caller-supplied cache is *shared* (the table server hands one
+        # cache to every table it opens) and survives this table's close
+        self._owns_cache = cache is None
+        self.cache: ChunkCache | None = cache if cache is not None else (
+            ChunkCache(cache_bytes) if cache_bytes else None)
         self._live_mask: np.ndarray | None = None
 
     @classmethod
     def open(cls, path: str, cache_bytes: int = DEFAULT_CAPACITY_BYTES,
              version: int | None = None,
-             verify_checksums: bool = True) -> "Table":
+             verify_checksums: bool = True,
+             cache: ChunkCache | None = None) -> "Table":
         """Open the current snapshot, or pin an older published
         ``version`` of a mutated table (time travel).
 
@@ -126,9 +131,12 @@ class Table:
         cache-miss revive (the un-checksummed baseline the faults bench
         measures against); corruption then surfaces only as codec decode
         errors or silently wrong rows — leave it on outside benchmarks.
+        ``cache`` injects a shared :class:`ChunkCache` (the table server
+        gives every open table one cache); it overrides ``cache_bytes``
+        and is left intact when this table closes.
         """
         return cls(path, cache_bytes=cache_bytes, version=version,
-                   verify_checksums=verify_checksums)
+                   verify_checksums=verify_checksums, cache=cache)
 
     @staticmethod
     def versions(path: str) -> list[int]:
@@ -281,7 +289,7 @@ class Table:
         for shard in self.shards:
             shard.close()
         self.shards = []
-        if self.cache is not None:
+        if self.cache is not None and self._owns_cache:
             self.cache.clear()
 
     def __enter__(self) -> "Table":

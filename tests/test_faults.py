@@ -23,6 +23,8 @@ import itertools
 import json
 import os
 import shutil
+import threading
+import time
 from dataclasses import asdict, replace
 
 import numpy as np
@@ -258,6 +260,89 @@ class TestCrashMatrix:
         assert _tmp_files(directory) == []
         # pre-commit crash: retrying compacts; post-commit: a no-op —
         # either way the content survives another full cycle
+        reopened.compact(threshold=1.0)
+        got = _sorted_by(reopened.scan().columns, "k")
+        np.testing.assert_array_equal(got["k"], reference["k"])
+        reopened.close()
+        assert scrub_table(directory).ok
+
+    def test_background_compactor_crash_with_concurrent_readers(
+            self, tmp_path):
+        """Seeded crash at ``compact.commit`` fired from the
+        BackgroundCompactor thread while serve-path reads are in
+        flight: every reader sees exactly the old or the new
+        generation (content always equals the reference, never a mix),
+        the compactor records the crash instead of swallowing it, and
+        reopening repairs."""
+        from repro.exec import MorselScheduler, Plan
+        from repro.mutate.compact import BackgroundCompactor
+        from repro.store import StoreSource
+
+        directory = str(tmp_path / "t")
+        table, _, reference = self._build(directory)
+        table.flush()  # deletes now live as DV sidecars
+        pre_gen = table.generation
+
+        sched = MorselScheduler(workers=2, name="test-serve-readers")
+        stop = threading.Event()
+        failures: list[str] = []
+        generations: set[int] = set()
+        reads = [0]
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    with Table.open(directory) as snap:
+                        generations.add(snap.generation)
+                        res = Plan.scan(["k", "v"]).execute(
+                            StoreSource(snap), scheduler=sched)
+                        got = _sorted_by(res.columns, "k")
+                        if not (np.array_equal(got["k"], reference["k"])
+                                and np.array_equal(got["v"],
+                                                   reference["v"])):
+                            failures.append(
+                                f"gen {snap.generation}: content is "
+                                f"neither pre nor post")
+                            return
+                        reads[0] += 1
+                except Exception as exc:
+                    failures.append(repr(exc))
+                    return
+
+        inj = FaultInjector(seed=23).crash_at("compact.commit")
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        compactor = BackgroundCompactor(table, threshold=1.0,
+                                        interval_s=0.01)
+        with inj:
+            for thread in readers:
+                thread.start()
+            compactor.start()
+            compactor.trigger()
+            for _ in range(1000):  # the injected crash kills the thread
+                if compactor.crashed is not None:
+                    break
+                time.sleep(0.01)
+            stop.set()
+            for thread in readers:
+                thread.join()
+        compactor.stop()
+
+        assert isinstance(compactor.crashed, SimulatedCrash)
+        assert inj.fired("compact.commit") == 1
+        assert compactor.history == []          # nothing was committed
+        assert compactor.errors == []           # crash not swallowed
+        assert failures == []
+        assert reads[0] > 0                     # readers really ran
+        assert generations == {pre_gen}         # commit never published
+        sched.close()
+        del table, compactor  # the "process" died: no cleanup
+
+        # reopen repairs, the next compaction lands, content survives
+        reopened = MutableTable.open(directory)
+        got = _sorted_by(reopened.scan().columns, "k")
+        np.testing.assert_array_equal(got["k"], reference["k"])
+        np.testing.assert_array_equal(got["v"], reference["v"])
+        assert _tmp_files(directory) == []
         reopened.compact(threshold=1.0)
         got = _sorted_by(reopened.scan().columns, "k")
         np.testing.assert_array_equal(got["k"], reference["k"])

@@ -1,0 +1,782 @@
+"""Tests for ``repro.serve`` and the shared scheduler/cache (PR 7).
+
+Five suites:
+
+* the **morsel scheduler** itself — ordering, policies, admission
+  control (``ServerBusy``, FIFO parking), cancellation, failure
+  propagation, lifecycle;
+* **plan wire format** — ``Plan.to_json``/``from_json`` round-trips
+  every node and expression type (property-tested under hypothesis),
+  unknown versions/kinds are one-line errors;
+* **shared execution** — N threads running mixed plans through one
+  table, one cache, and one scheduler get row-for-row the serial
+  answers, with per-query stats attribution (no cross-charging);
+* the **table server** end-to-end — query/explain/stats/list_tables
+  over real sockets, typed error propagation, per-request deadlines,
+  backpressure as ``ServerBusy`` (never a hang), malformed frames that
+  do not take the server down, graceful drain-on-shutdown;
+* the ``python -m repro.serve`` entry point as a subprocess.
+"""
+
+import json
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the CI image
+    HAVE_HYPOTHESIS = False
+
+from repro import faults
+from repro.datasets import sensor_fixture
+from repro.exec import (
+    And,
+    Bitmap,
+    ExecTimeout,
+    InSet,
+    MorselScheduler,
+    Or,
+    Plan,
+    Range,
+    ServerBusy,
+    col,
+    expr_from_json,
+)
+from repro.faults import FaultInjector
+from repro.serve import ServeClient, TableServer, wire
+from repro.store import StoreSource, Table, TableWriter
+from repro.store import cli as store_cli
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+@pytest.fixture(scope="module")
+def served_root(tmp_path_factory):
+    """A root directory holding one 20k-row ``events`` table."""
+    root = str(tmp_path_factory.mktemp("serve") / "root")
+    os.makedirs(root)
+    columns = sensor_fixture(20_000, seed=11)
+    with TableWriter(os.path.join(root, "events"), codec="auto",
+                     shard_rows=4096, chunk_rows=512) as writer:
+        writer.append(columns)
+    return root, columns
+
+
+def _selective_plan(columns, width=100):
+    ts = columns["ts"]
+    lo, hi = int(ts[9000]), int(ts[9000 + width])
+    return (Plan.scan(["sensor_id", "reading"])
+            .where(col("ts").between(lo, hi)))
+
+
+# ------------------------------------------------------------- scheduler
+class TestMorselScheduler:
+    @pytest.mark.parametrize("policy", ["fair", "sjf"])
+    def test_results_come_back_in_item_order(self, policy):
+        with MorselScheduler(workers=4, policy=policy) as sched:
+            out = sched.run_query(lambda i: i * i, range(50),
+                                  threading.Event())
+            assert out == [i * i for i in range(50)]
+            assert sched.granules_executed == 50
+            assert sched.queries_completed == 1
+
+    def test_concurrent_queries_interleave_on_one_pool(self):
+        with MorselScheduler(workers=2) as sched:
+            results = {}
+
+            def submit(name, n):
+                results[name] = sched.run_query(
+                    lambda i: (name, i), range(n), threading.Event())
+
+            threads = [threading.Thread(target=submit, args=(k, 30))
+                       for k in ("a", "b", "c")]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for k in ("a", "b", "c"):
+                assert results[k] == [(k, i) for i in range(30)]
+            assert sched.granules_executed == 90
+            # one fixed pool: never more threads than workers
+            assert len(sched._threads) == 2
+
+    def test_arg_validation(self):
+        with pytest.raises(ValueError, match="policy"):
+            MorselScheduler(policy="lifo")
+        with pytest.raises(ValueError, match="workers"):
+            MorselScheduler(workers=0)
+        with pytest.raises(ValueError, match="max_inflight"):
+            MorselScheduler(max_inflight=0)
+        with pytest.raises(ValueError, match="queue_depth"):
+            MorselScheduler(queue_depth=-1)
+
+    def _hold_one_slot(self, sched):
+        """Occupy the scheduler with a query parked on a gate."""
+        gate = threading.Event()
+        running = threading.Event()
+
+        def slow(i):
+            running.set()
+            gate.wait(10)
+            return i
+
+        holder = threading.Thread(
+            target=lambda: sched.run_query(slow, [0], threading.Event()))
+        holder.start()
+        assert running.wait(5)
+        return gate, holder
+
+    def test_admission_rejects_with_server_busy(self):
+        sched = MorselScheduler(workers=1, max_inflight=1, queue_depth=0)
+        gate, holder = self._hold_one_slot(sched)
+        try:
+            with pytest.raises(ServerBusy, match="at capacity"):
+                sched.run_query(lambda i: i, [1], threading.Event())
+            assert sched.queries_rejected == 1
+        finally:
+            gate.set()
+            holder.join()
+            sched.close()
+
+    def test_parked_query_runs_when_a_slot_frees(self):
+        sched = MorselScheduler(workers=1, max_inflight=1, queue_depth=2)
+        gate, holder = self._hold_one_slot(sched)
+        parked_result = []
+
+        def parked():
+            parked_result.append(
+                sched.run_query(lambda i: i + 10, [1, 2],
+                                threading.Event()))
+
+        waiter = threading.Thread(target=parked)
+        waiter.start()
+        time.sleep(0.05)
+        assert sched.stats()["parked"] == 1
+        assert not parked_result  # genuinely waiting, not running
+        gate.set()
+        holder.join()
+        waiter.join(5)
+        assert parked_result == [[11, 12]]
+        sched.close()
+
+    def test_deadline_spent_parked_returns_all_skipped(self):
+        sched = MorselScheduler(workers=1, max_inflight=1, queue_depth=2)
+        gate, holder = self._hold_one_slot(sched)
+        try:
+            out = sched.run_query(
+                lambda i: i, [1, 2, 3], threading.Event(),
+                deadline=time.perf_counter() + 0.05)
+            assert out == [None, None, None]
+        finally:
+            gate.set()
+            holder.join()
+            sched.close()
+
+    def test_deadline_mid_query_drains_queued_granules(self):
+        with MorselScheduler(workers=1) as sched:
+            cancel = threading.Event()
+
+            def granule(i):
+                time.sleep(0.02)
+                return i
+
+            start = time.perf_counter()
+            out = sched.run_query(
+                granule, range(100), cancel,
+                deadline=time.perf_counter() + 0.05)
+            assert time.perf_counter() - start < 5.0
+            assert cancel.is_set()
+            done = [r for r in out if r is not None]
+            assert len(done) < 100  # the tail was drained, not run
+            assert done == list(range(len(done)))  # prefix ran in order
+
+    def test_first_failure_cancels_the_job_and_reraises(self):
+        with MorselScheduler(workers=2) as sched:
+            cancel = threading.Event()
+
+            def granule(i):
+                if i == 3:
+                    raise RuntimeError("granule 3 exploded")
+                return i
+
+            with pytest.raises(RuntimeError, match="granule 3"):
+                sched.run_query(granule, range(50), cancel)
+            assert cancel.is_set()
+
+    def test_closed_scheduler_refuses_queries(self):
+        sched = MorselScheduler(workers=1)
+        sched.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sched.run_query(lambda i: i, [1], threading.Event())
+
+    def test_empty_item_list(self):
+        with MorselScheduler(workers=1) as sched:
+            assert sched.run_query(lambda i: i, [],
+                                   threading.Event()) == []
+
+
+# ------------------------------------------------------- plan wire format
+class TestPlanJson:
+    def _shapes(self, columns):
+        bitmap = np.zeros(200, dtype=bool)
+        bitmap[7::13] = True
+        return [
+            Plan.scan(None),
+            Plan.scan(["ts", "reading"]).where(
+                Or(Range("ts", 10, 500), InSet("status", [0, 2])))
+            .project(["reading"]),
+            Plan.scan(["reading"]).where(
+                And(Bitmap(bitmap), Range("reading", None, 100)))
+            .aggregate({"total": ("sum", "reading"),
+                        "n": ("count", "reading")},
+                       group_by="sensor_id"),
+            Plan.scan(["sensor_id"]).join(
+                "sensor_id", build={"sensor_id": [1, 2, 3],
+                                    "weight": [10, 20, 30]}, how="inner"),
+            Plan.scan(["sensor_id"]).join(
+                "sensor_id", keys=[4, 5, 6], how="semi"),
+        ]
+
+    def test_every_node_kind_round_trips(self, served_root):
+        _, columns = served_root
+        for plan in self._shapes(columns):
+            blob = plan.to_json()
+            json.dumps(blob)  # must be pure JSON
+            revived = Plan.from_json(blob)
+            assert revived.to_json() == blob
+            assert [type(n) for n in revived.nodes] == \
+                [type(n) for n in plan.nodes]
+
+    def test_round_trip_executes_identically(self, served_root):
+        root, columns = served_root
+        with Table.open(os.path.join(root, "events")) as table:
+            source = StoreSource(table)
+            plan = _selective_plan(columns)
+            a = plan.execute(source, threads=1)
+            b = Plan.from_json(plan.to_json()).execute(source, threads=1)
+            np.testing.assert_array_equal(a.row_ids, b.row_ids)
+            for name in a.columns:
+                np.testing.assert_array_equal(a.columns[name],
+                                              b.columns[name])
+
+    def test_unknown_version_is_one_line(self):
+        blob = Plan.scan(None).to_json()
+        blob["v"] = 99
+        with pytest.raises(ValueError) as info:
+            Plan.from_json(blob)
+        assert "unsupported plan JSON version 99" in str(info.value)
+        assert "\n" not in str(info.value)
+
+    def test_unknown_node_kind_is_one_line(self):
+        blob = Plan.scan(None).to_json()
+        blob["nodes"].append({"kind": "sort", "by": "ts"})
+        with pytest.raises(ValueError, match="unknown plan node kind"):
+            Plan.from_json(blob)
+
+    def test_malformed_payloads_are_one_line(self):
+        with pytest.raises(ValueError, match="must be a dict"):
+            Plan.from_json([1, 2])
+        with pytest.raises(ValueError, match="no nodes"):
+            Plan.from_json({"v": 1, "nodes": []})
+        with pytest.raises(ValueError, match="start with a scan"):
+            Plan.from_json({"v": 1, "nodes": [{"kind": "project"}]})
+        blob = Plan.scan(None).to_json()
+        blob["nodes"].append({"kind": "filter"})  # missing "expr"
+        with pytest.raises(ValueError, match="malformed plan JSON"):
+            Plan.from_json(blob)
+        blob = Plan.scan(None).to_json()
+        blob["nodes"].append(dict(blob["nodes"][0]))
+        with pytest.raises(ValueError, match="second scan"):
+            Plan.from_json(blob)
+
+    def test_expr_json_rejections(self):
+        with pytest.raises(ValueError, match="unknown expression kind"):
+            expr_from_json({"kind": "regex", "column": "ts"})
+        with pytest.raises(ValueError, match="malformed"):
+            expr_from_json({"kind": "range"})
+        blob = Bitmap(np.ones(100, dtype=bool)).to_json()
+        blob["n"] = 999
+        with pytest.raises(ValueError, match="bitmap"):
+            expr_from_json(blob)
+
+    if HAVE_HYPOTHESIS:
+        _COLS = st.sampled_from(["ts", "reading", "status"])
+        _BOUND = st.one_of(st.none(), st.integers(-1000, 1000))
+        _LEAF = st.one_of(
+            st.builds(Range, _COLS, _BOUND, _BOUND),
+            st.builds(lambda c, vs: InSet(c, vs), _COLS,
+                      st.lists(st.integers(-100, 100), min_size=1,
+                               max_size=6)),
+            st.builds(lambda bits: Bitmap(np.asarray(bits, dtype=bool)),
+                      st.lists(st.booleans(), min_size=1, max_size=64)),
+        )
+        _EXPR = st.recursive(
+            _LEAF,
+            lambda children: st.one_of(
+                st.builds(lambda cs: And.of(*cs),
+                          st.lists(children, min_size=1, max_size=3)),
+                st.builds(lambda cs: Or.of(*cs),
+                          st.lists(children, min_size=1, max_size=3))),
+            max_leaves=8)
+
+        @st.composite
+        def _plans(draw):
+            plan = Plan.scan(draw(st.one_of(
+                st.none(), st.just(["ts", "reading"]))))
+            for _ in range(draw(st.integers(0, 2))):
+                plan = plan.where(draw(TestPlanJson._EXPR))
+            terminal = draw(st.sampled_from(
+                ["row", "project", "aggregate", "join"]))
+            if terminal == "project":
+                plan = plan.project(["ts"])
+            elif terminal == "aggregate":
+                plan = plan.aggregate(
+                    {"s": ("sum", "reading"), "m": ("max", "ts")},
+                    group_by=draw(st.sampled_from([None, "status"])))
+            elif terminal == "join":
+                keys = draw(st.lists(st.integers(0, 50), min_size=1,
+                                     max_size=5, unique=True))
+                if draw(st.booleans()):
+                    plan = plan.join(
+                        "ts", build={"ts": keys,
+                                     "w": [k * 2 for k in keys]},
+                        how=draw(st.sampled_from(["semi", "inner"])))
+                else:
+                    plan = plan.join("ts", keys=keys, how="semi")
+            return plan
+
+        @settings(max_examples=120, deadline=None)
+        @given(plan=_plans())
+        def test_property_any_plan_round_trips(self, plan):
+            blob = plan.to_json()
+            json.dumps(blob)
+            revived = Plan.from_json(blob)
+            assert revived.to_json() == blob
+
+
+# ------------------------------------------------------- shared execution
+class TestSharedExecution:
+    """N threads, mixed plans, one Table, one cache, one scheduler: every
+    result matches its serial counterpart row-for-row and every query's
+    stats describe its own work (no cross-charging)."""
+
+    def _mixed_plans(self, columns):
+        ts = columns["ts"]
+        bitmap = np.zeros(len(ts), dtype=bool)
+        bitmap[::97] = True
+        return [
+            _selective_plan(columns),
+            Plan.scan(["reading"]).where(
+                InSet("status", [0, 2])).project(["reading"]),
+            Plan.scan(["reading"]).aggregate(
+                {"total": ("sum", "reading"), "n": ("count", "reading")},
+                group_by="sensor_id"),
+            Plan.scan(["sensor_id", "reading"]).where(
+                Or(Range("ts", int(ts[100]), int(ts[400])),
+                   Range("ts", int(ts[15_000]), int(ts[15_300])))),
+            Plan.scan(["ts"]).where(Bitmap(bitmap)),
+        ]
+
+    def test_concurrent_matches_serial_row_for_row(self, served_root):
+        root, columns = served_root
+        plans = self._mixed_plans(columns)
+        with Table.open(os.path.join(root, "events")) as table:
+            source = StoreSource(table)
+            serial = [p.execute(source, threads=1) for p in plans]
+            sched = MorselScheduler(workers=4)
+            failures = []
+
+            def run(idx):
+                try:
+                    for _ in range(3):
+                        res = plans[idx].execute(source, scheduler=sched)
+                        ref = serial[idx]
+                        if ref.groups is not None:
+                            assert res.groups == ref.groups
+                        else:
+                            np.testing.assert_array_equal(
+                                res.row_ids, ref.row_ids)
+                            for name in ref.columns:
+                                np.testing.assert_array_equal(
+                                    res.columns[name], ref.columns[name])
+                        # own-work attribution: scan accounting is
+                        # deterministic per plan, concurrency or not
+                        assert res.stats.chunks_scanned == \
+                            ref.stats.chunks_scanned
+                        assert res.stats.granules_pruned == \
+                            ref.stats.granules_pruned
+                        assert res.stats.cache_hits + \
+                            res.stats.cache_misses == \
+                            ref.stats.cache_hits + ref.stats.cache_misses
+                except Exception as exc:
+                    failures.append(f"plan {idx}: {exc!r}")
+
+            threads = [threading.Thread(target=run, args=(i % len(plans),))
+                       for i in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            sched.close()
+            assert failures == []
+
+    def test_eviction_attribution_under_thrash(self, served_root):
+        """A cache too small for the working set: every query still sees
+        hits+misses covering exactly its own chunk loads, and evictions
+        land on the query whose insert pushed entries out."""
+        root, columns = served_root
+        with Table.open(os.path.join(root, "events"),
+                        cache_bytes=2048) as table:
+            source = StoreSource(table)
+            plan = _selective_plan(columns, width=4000)
+            serial = plan.execute(source, threads=1)
+            results = []
+
+            sched = MorselScheduler(workers=2)
+            def run():
+                results.append(plan.execute(source, scheduler=sched))
+
+            threads = [threading.Thread(target=run) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            sched.close()
+            assert len(results) == 4
+            for res in results:
+                assert res.stats.cache_hits + res.stats.cache_misses == \
+                    serial.stats.cache_hits + serial.stats.cache_misses
+                # evictions are charged to inserts: a query that
+                # missed nothing cannot have evicted anything
+                if res.stats.cache_misses == 0:
+                    assert res.stats.cache_evictions == 0
+            # the tiny cache really thrashed, and the evictions were
+            # attributed to the queries that caused them
+            assert table.cache.evictions > 0
+            total_attributed = serial.stats.cache_evictions + \
+                sum(r.stats.cache_evictions for r in results)
+            assert total_attributed == table.cache.evictions
+
+
+# ------------------------------------------------------------------ wire
+class TestWire:
+    def _pair(self):
+        a, b = socket.socketpair()
+        return a, b
+
+    def test_frame_round_trip(self):
+        a, b = self._pair()
+        wire.send_frame(a, {"op": "ping", "v": 1})
+        assert wire.recv_frame(b) == {"op": "ping", "v": 1}
+        a.close()
+        assert wire.recv_frame(b) is None  # clean EOF
+        b.close()
+
+    def test_oversized_length_prefix_rejected(self):
+        a, b = self._pair()
+        a.sendall(struct.pack(">I", wire.MAX_FRAME_BYTES + 1))
+        with pytest.raises(wire.WireError, match="exceeds"):
+            wire.recv_frame(b)
+        a.close()
+        b.close()
+
+    def test_torn_frame_rejected(self):
+        a, b = self._pair()
+        a.sendall(struct.pack(">I", 100) + b'{"op"')
+        a.close()
+        with pytest.raises(wire.WireError, match="mid-frame"):
+            wire.recv_frame(b)
+        b.close()
+
+    def test_non_object_payload_rejected(self):
+        a, b = self._pair()
+        payload = b"[1,2,3]"
+        a.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(wire.WireError, match="JSON object"):
+            wire.recv_frame(b)
+        a.close()
+        b.close()
+
+    def test_garbage_payload_rejected(self):
+        a, b = self._pair()
+        payload = b"\xff\xfe not json"
+        a.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(wire.WireError, match="not valid JSON"):
+            wire.recv_frame(b)
+        a.close()
+        b.close()
+
+
+# ---------------------------------------------------------------- server
+@pytest.fixture()
+def server(served_root):
+    root, _ = served_root
+    srv = TableServer(root, max_inflight=4, queue_depth=8).start()
+    yield srv
+    srv.shutdown()
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server.address
+    with ServeClient(host, port) as c:
+        yield c
+
+
+class TestTableServer:
+    def test_ping_and_list_tables(self, client):
+        assert client.ping() == "pong"
+        assert client.list_tables() == ["events"]
+
+    def test_query_matches_local_execution(self, served_root, client):
+        root, columns = served_root
+        plan = _selective_plan(columns)
+        with Table.open(os.path.join(root, "events")) as table:
+            ref = plan.execute(StoreSource(table), threads=1)
+        res = client.query("events", plan, timeout_s=10.0)
+        assert res["n_rows"] == ref.n_rows
+        assert not res["truncated"]
+        np.testing.assert_array_equal(res["row_ids"], ref.row_ids)
+        for name in ref.columns:
+            np.testing.assert_array_equal(res["columns"][name],
+                                          ref.columns[name])
+
+    def test_limit_caps_rows_not_stats(self, served_root, client):
+        _, columns = served_root
+        res = client.query("events", _selective_plan(columns), limit=7)
+        assert res["truncated"]
+        assert len(res["row_ids"]) == 7
+        assert res["n_rows"] > 7  # stats describe the full execution
+
+    def test_aggregate_groups_travel(self, served_root, client):
+        root, columns = served_root
+        plan = Plan.scan(["reading"]).aggregate(
+            {"total": ("sum", "reading")}, group_by="sensor_id")
+        with Table.open(os.path.join(root, "events")) as table:
+            ref = plan.execute(StoreSource(table), threads=1)
+        res = client.query("events", plan)
+        assert {k: v for k, v in res["groups"]} == ref.groups
+
+    def test_explain_carries_cache_attribution(self, served_root, client):
+        _, columns = served_root
+        res = client.explain("events", _selective_plan(columns))
+        assert "cache:" in res["explain"]
+        assert "evicted" in res["explain"]
+        assert "row_ids" not in res  # explain drops the row payload
+
+    def test_stats_report_shape(self, served_root, client):
+        _, columns = served_root
+        client.query("events", _selective_plan(columns))
+        stats = client.stats()
+        assert stats["mode"] == "shared-scheduler"
+        assert stats["queries_ok"] >= 1
+        assert stats["qps"] > 0
+        assert {"p50", "p90", "p99"} <= set(stats["latency_ms"])
+        assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
+        assert stats["scheduler"]["workers"] >= 1
+        assert stats["tables"] == ["events"]
+
+    def test_unknown_table_is_typed_one_liner(self, client):
+        with pytest.raises(RuntimeError, match="unknown table 'nope'"):
+            client.query("nope", Plan.scan(None))
+
+    def test_path_traversal_table_names_rejected(self, client):
+        with pytest.raises(RuntimeError, match="bad table name"):
+            client.query("../etc", Plan.scan(None))
+
+    def test_unknown_plan_version_is_one_liner(self, served_root, client):
+        blob = Plan.scan(None).to_json()
+        blob["v"] = 42
+        with pytest.raises(RuntimeError,
+                           match="unsupported plan JSON version 42"):
+            client.query("events", blob)
+
+    def test_unknown_wire_version_is_one_liner(self, client):
+        with pytest.raises(RuntimeError,
+                           match="unsupported request version 9"):
+            client._call({"op": "ping", "v": 9})
+
+    def test_unknown_op_and_opts_rejected(self, client):
+        with pytest.raises(RuntimeError, match="unknown op"):
+            client._call({"op": "drop_all_tables"})
+        with pytest.raises(RuntimeError, match="unknown option"):
+            client.query("events", Plan.scan(None), threads=64)
+
+    def test_malformed_frame_does_not_kill_the_server(self, server):
+        host, port = server.address
+        raw = socket.create_connection((host, port))
+        raw.sendall(struct.pack(">I", wire.MAX_FRAME_BYTES + 5))
+        raw.close()
+        raw = socket.create_connection((host, port))
+        raw.sendall(b"\x00\x00\x00\x08notjson!")
+        raw.close()
+        # the server dropped both connections and kept serving
+        with ServeClient(host, port) as c:
+            assert c.ping() == "pong"
+
+    def test_request_deadline_raises_exec_timeout(self, served_root):
+        root, columns = served_root
+        srv = TableServer(root, cache_bytes=0).start()
+        host, port = srv.address
+        inj = FaultInjector().slow_at("chunk.read", delay_s=0.05,
+                                      times=None)
+        try:
+            with inj, ServeClient(host, port) as c:
+                with pytest.raises(ExecTimeout, match="timeout_s"):
+                    c.query("events", Plan.scan(["reading"]),
+                            timeout_s=0.05)
+        finally:
+            srv.shutdown()
+
+    def test_backpressure_is_server_busy_not_a_hang(self, served_root):
+        root, columns = served_root
+        srv = TableServer(root, workers=1, max_inflight=1,
+                          queue_depth=0, cache_bytes=0).start()
+        host, port = srv.address
+        inj = FaultInjector().slow_at("chunk.read", delay_s=0.02,
+                                      times=None)
+        plan = Plan.scan(["reading"]).aggregate(
+            {"n": ("count", "reading")})
+        outcomes = []
+
+        def hit():
+            with ServeClient(host, port) as c:
+                try:
+                    outcomes.append(("ok", c.query("events", plan,
+                                                   timeout_s=30.0)))
+                except ServerBusy as err:
+                    outcomes.append(("busy", str(err)))
+
+        try:
+            with inj:
+                threads = [threading.Thread(target=hit)
+                           for _ in range(4)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(timeout=60)
+                assert not any(t.is_alive() for t in threads)
+            kinds = [k for k, _ in outcomes]
+            assert "busy" in kinds      # overload was rejected...
+            assert "ok" in kinds        # ...while admitted work finished
+            for kind, payload in outcomes:
+                if kind == "ok":
+                    assert payload["groups"][0][1]["n"] == 20_000
+                else:
+                    assert "at capacity" in payload
+            assert srv.stats()["rejected_busy"] >= 1
+        finally:
+            srv.shutdown()
+
+    def test_graceful_drain_finishes_inflight_queries(self, served_root):
+        root, columns = served_root
+        srv = TableServer(root, cache_bytes=0).start()
+        host, port = srv.address
+        inj = FaultInjector().slow_at("chunk.read", delay_s=0.01,
+                                      times=None)
+        result = {}
+
+        def slow_query():
+            with ServeClient(host, port) as c:
+                result["res"] = c.query(
+                    "events", Plan.scan(["reading"]).aggregate(
+                        {"n": ("count", "reading")}), timeout_s=60.0)
+
+        with inj:
+            worker = threading.Thread(target=slow_query)
+            worker.start()
+            time.sleep(0.15)  # the query is mid-flight
+            srv.shutdown()    # drain: must NOT cut it off
+            worker.join(timeout=60)
+        assert result["res"]["groups"][0][1]["n"] == 20_000
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=1.0)
+
+    def test_root_that_is_itself_a_table(self, served_root):
+        root, columns = served_root
+        table_dir = os.path.join(root, "events")
+        srv = TableServer(table_dir).start()
+        try:
+            host, port = srv.address
+            with ServeClient(host, port) as c:
+                assert c.list_tables() == ["events"]
+                res = c.query("events", Plan.scan(["reading"]).aggregate(
+                    {"n": ("count", "reading")}))
+                assert res["groups"][0][1]["n"] == 20_000
+        finally:
+            srv.shutdown()
+
+
+# ----------------------------------------------------------- entry point
+class TestServeMain:
+    def test_subprocess_lifecycle(self, served_root):
+        root, columns = served_root
+        src = os.path.abspath(os.path.join(
+            os.path.dirname(__file__), "..", "src"))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", "--root", root,
+             "--max-inflight", "4"],
+            stdout=subprocess.PIPE, text=True, env=env)
+        try:
+            banner = proc.stdout.readline().strip()
+            assert banner.startswith("listening on ")
+            host, port = banner.split()[-1].rsplit(":", 1)
+            with ServeClient(host, int(port)) as c:
+                assert c.list_tables() == ["events"]
+                res = c.query("events", _selective_plan(columns),
+                              limit=5)
+                assert res["n_rows"] == 100
+                assert c.stats()["queries_ok"] >= 1
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=30) == 0  # graceful drain exit
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+
+# --------------------------------------------------------- CLI timeout-s
+class TestCliTimeout:
+    def test_scan_timeout_prints_partial_stats_and_exits_1(
+            self, served_root, tmp_path, capsys):
+        directory = str(tmp_path / "t")
+        columns = sensor_fixture(12_000, seed=5)
+        with TableWriter(directory, shard_rows=4096,
+                         chunk_rows=512) as writer:
+            writer.append(columns)
+        inj = FaultInjector().slow_at("chunk.read", delay_s=0.05,
+                                      times=None)
+        with inj:
+            rc = store_cli.main(["scan", directory, "--threads", "2",
+                                 "--timeout-s", "0.02"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "timeout_s=0.02" in err
+        assert "partial work before the deadline" in err
+
+    def test_scan_without_timeout_still_exits_0(self, tmp_path, capsys):
+        directory = str(tmp_path / "t")
+        with TableWriter(directory, shard_rows=2048) as writer:
+            writer.append({"k": np.arange(4000, dtype=np.int64)})
+        assert store_cli.main(["scan", directory, "--columns", "k",
+                               "--timeout-s", "30"]) == 0
+        assert "rows in" in capsys.readouterr().out

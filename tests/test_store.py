@@ -433,10 +433,13 @@ class TestParallelAndCache:
         cache.get_or_load("a", lambda: 1, 40)
         cache.get_or_load("b", lambda: 2, 40)
         cache.get_or_load("a", lambda: None, 40)    # refresh a
-        cache.get_or_load("c", lambda: 3, 40)       # evicts b
-        value, hit = cache.get_or_load("b", lambda: 9, 40)
+        _, _, evicted = cache.get_or_load("c", lambda: 3, 40)  # evicts b
+        assert evicted == 1
+        value, hit, _ = cache.get_or_load("b", lambda: 9, 40)
         assert (value, hit) == (9, False)
         assert cache.get_or_load("a", lambda: None, 40)[1] in (True, False)
+        assert cache.evictions >= 1
+        assert cache.stats()["evictions"] == cache.evictions
 
 
 class TestBridge:
