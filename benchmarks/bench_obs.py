@@ -1,0 +1,218 @@
+"""Observability overhead benchmark: what the metrics + tracing cost.
+
+PR 8 wires always-on metrics through the scheduler, cache, executor,
+store, and mutate layers, plus opt-in per-query tracing.  Both were
+budgeted: metrics must stay within **5%** on the executor's
+0.5%-selectivity store scan (the pruning-heavy path where per-granule
+bookkeeping is the largest relative cost), and a full trace within
+**15%**.  This bench measures all three arms best-of-N against the
+``set_enabled(False)`` kill switch, then runs a mixed query +
+mutation + compaction workload and fetches the ``metrics`` wire op
+from a live :class:`TableServer`, asserting every core family is
+populated — the series a Prometheus scraper would actually see.
+
+Writes a ``BENCH_obs.json`` trajectory with pass/fail checks::
+
+    python benchmarks/bench_obs.py [--quick] [--json PATH] [--dir D]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.exec import Plan, Range
+from repro.mutate import MutableTable
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import parse_text, set_enabled
+from repro.obs.trace import Trace
+from repro.serve import ServeClient, TableServer
+from repro.store import StoreSource, Table, write_table
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit, headline
+
+FULL_N = 500_000
+QUICK_N = 100_000
+#: best-of repeats per arm (the overheads are small; noise is not)
+REPEATS = 9
+#: regression gates (relative to the kill-switch baseline)
+MAX_METRICS_OVERHEAD = 0.05
+MAX_TRACE_OVERHEAD = 0.15
+
+#: wire-op families that must be non-zero after the mixed workload
+CORE_FAMILIES = (
+    "repro_serve_requests_total",
+    "repro_sched_granules_total",
+    "repro_cache_lookups_total",
+    "repro_exec_queries_total",
+    "repro_exec_rows_total",
+    "repro_wal_appends_total",
+    "repro_mutate_generations_total",
+    "repro_mutate_compact_passes_total",
+)
+
+
+def _measure(fn, repeats: int = REPEATS):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _overhead_arms(directory: str, n: int) -> dict:
+    """Best-of timings for the 0.5%-selectivity scan: metrics off /
+    metrics on / metrics on + full trace."""
+    plan = Plan.scan(["val"]).where(Range("ts", 0, n // 200))
+    with Table.open(directory) as table:
+        source = StoreSource(table)
+        run = lambda **opts: plan.execute(source, threads=2, **opts)
+        run()  # warm the chunk cache: measure bookkeeping, not IO
+
+        set_enabled(False)
+        try:
+            t_off, res_off = _measure(run)
+        finally:
+            set_enabled(True)
+        t_on, res_on = _measure(run)
+        t_trace, res_trace = _measure(
+            lambda: run(trace=Trace("bench", table=directory)))
+
+    metrics_overhead = t_on / max(t_off, 1e-9) - 1.0
+    trace_overhead = t_trace / max(t_off, 1e-9) - 1.0
+    return {
+        "selectivity": 1 / 200,
+        "scan_off_ms": t_off * 1e3,
+        "scan_metrics_ms": t_on * 1e3,
+        "scan_traced_ms": t_trace * 1e3,
+        "metrics_overhead": metrics_overhead,
+        "trace_overhead": trace_overhead,
+        "trace_spans": len(res_trace.trace),
+        "rows": {"off": res_off.n_rows, "metrics": res_on.n_rows,
+                 "traced": res_trace.n_rows},
+    }
+
+
+def _mixed_workload(root: str, mutate_dir: str, n: int) -> dict:
+    """Queries through a live server + WAL churn, flush, and
+    compaction in the same process, then the ``metrics`` wire op."""
+    rng = np.random.default_rng(1)
+    with MutableTable.create(mutate_dir,
+                             schema=("ts", "val")) as mutable:
+        for batch in range(4):
+            size = n // 40
+            mutable.append({
+                "ts": np.arange(batch * size, (batch + 1) * size,
+                                dtype=np.int64),
+                "val": rng.integers(0, 1000, size).astype(np.int64)})
+            mutable.flush()
+        mutable.delete(("val", 0, 500))
+        mutable.flush()
+        mutable.compact()
+
+    with TableServer(root) as server:
+        host, port = server.address
+        with ServeClient(host, port) as client:
+            plan = Plan.scan(["val"]).where(Range("ts", 0, n // 200))
+            for _ in range(10):
+                client.query("events", plan, limit=16)
+            client.explain("events", plan)
+            text = client.metrics()
+
+    families = parse_text(text)
+    populated = {}
+    for name in CORE_FAMILIES:
+        samples = families.get(name, {}).get("samples", ())
+        populated[name] = sum(v for _, _, v in samples)
+    return {"series_rendered": len(families),
+            "core_family_totals": populated}
+
+
+def run(root: str, n: int) -> dict:
+    directory = os.path.join(root, "events")
+    rng = np.random.default_rng(0)
+    write_table(directory, {
+        "ts": np.arange(n, dtype=np.int64),
+        "val": np.cumsum(rng.integers(-5, 6, n)).astype(np.int64),
+    }, shard_rows=max(n // 8, 4096))
+
+    arms = _overhead_arms(directory, n)
+    mixed = _mixed_workload(root, os.path.join(root, "churn"), n)
+
+    checks = {
+        "metrics_overhead_within_budget": bool(
+            arms["metrics_overhead"] <= MAX_METRICS_OVERHEAD),
+        "trace_overhead_within_budget": bool(
+            arms["trace_overhead"] <= MAX_TRACE_OVERHEAD),
+        "instrumented_results_identical": bool(
+            arms["rows"]["off"] == arms["rows"]["metrics"]
+            == arms["rows"]["traced"]),
+        "trace_captured_spans": bool(arms["trace_spans"] > 0),
+        "wire_metrics_all_core_families_populated": all(
+            total > 0
+            for total in mixed["core_family_totals"].values()),
+    }
+
+    emit(f"scan (0.5% selectivity, n={n}): "
+         f"off {arms['scan_off_ms']:.3f} ms   "
+         f"metrics {arms['scan_metrics_ms']:.3f} ms "
+         f"({arms['metrics_overhead']:+.2%}, "
+         f"budget {MAX_METRICS_OVERHEAD:.0%})   "
+         f"traced {arms['scan_traced_ms']:.3f} ms "
+         f"({arms['trace_overhead']:+.2%}, "
+         f"budget {MAX_TRACE_OVERHEAD:.0%}, "
+         f"{arms['trace_spans']} spans)")
+    emit(f"mixed workload: {mixed['series_rendered']} families "
+         f"rendered over the wire")
+    for name, total in mixed["core_family_totals"].items():
+        emit(f"  {name:<42} {total:>12g}")
+    emit("checks: " + ", ".join(f"{k}={v}" for k, v in checks.items()))
+
+    return {
+        "n": n,
+        "overhead": arms,
+        "budgets": {"metrics": MAX_METRICS_OVERHEAD,
+                    "trace": MAX_TRACE_OVERHEAD},
+        "mixed_workload": mixed,
+        "checks": checks,
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--json", default="BENCH_obs.json")
+    parser.add_argument("--dir", default=None,
+                        help="working directory (default: a temp dir)")
+    args = parser.parse_args(argv)
+    n = QUICK_N if args.quick else FULL_N
+    emit(headline(
+        "Observability overhead benchmark",
+        f"metrics + tracing cost on a 0.5%-selectivity scan (n={n}), "
+        "then a mixed query/mutation workload scraped over the wire"))
+    root = args.dir or tempfile.mkdtemp(prefix="repro_obs_bench_")
+    try:
+        payload = run(root, n)
+    finally:
+        set_enabled(True)  # never leave the kill switch thrown
+        if args.dir is None:
+            shutil.rmtree(root, ignore_errors=True)
+    with open(args.json, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    emit(f"\nwrote {args.json}")
+    failed = [name for name, ok in payload["checks"].items() if not ok]
+    if failed:  # the CI smoke step must go red, not just record it
+        raise SystemExit(f"obs bench checks failed: {', '.join(failed)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,7 @@ import time
 from collections import deque
 
 from repro.exec.errors import ServerBusy
+from repro.obs import metrics as obs_metrics
 
 #: cap on auto-selected worker threads (matches the executor's old cap)
 MAX_AUTO_WORKERS = 8
@@ -46,12 +47,32 @@ MAX_AUTO_WORKERS = 8
 #: scheduling policies
 POLICIES = ("fair", "sjf")
 
+# process-wide scheduler metrics, labelled by scheduler name so the
+# server's bounded instance and the shared in-process one stay distinct
+_M_QUERIES = obs_metrics.counter(
+    "repro_sched_queries_total",
+    "queries by admission outcome (admitted/rejected/expired)",
+    labels=("sched", "outcome"))
+_M_PARK_WAIT = obs_metrics.histogram(
+    "repro_sched_park_wait_seconds",
+    "time queries spent parked awaiting an execution slot",
+    labels=("sched",))
+_M_INFLIGHT = obs_metrics.gauge(
+    "repro_sched_inflight", "queries currently executing",
+    labels=("sched",))
+_M_PARKED = obs_metrics.gauge(
+    "repro_sched_parked", "queries currently parked for admission",
+    labels=("sched",))
+_M_GRANULES = obs_metrics.counter(
+    "repro_sched_granules_total", "granules executed by the pool",
+    labels=("sched",))
+
 
 class _Job:
     """One query's granule work registered with the scheduler."""
 
     __slots__ = ("fn", "queue", "results", "outstanding", "failure",
-                 "cancel", "deadline", "done")
+                 "cancel", "deadline", "done", "executed")
 
     def __init__(self, fn, items, cancel, deadline):
         self.fn = fn
@@ -62,6 +83,7 @@ class _Job:
         self.cancel = cancel
         self.deadline = deadline
         self.done = threading.Event()
+        self.executed = 0  # granules actually run (metrics, batched)
 
     @property
     def remaining(self) -> int:
@@ -98,6 +120,19 @@ class MorselScheduler:
         self.policy = policy
         self.max_inflight = max_inflight
         self.queue_depth = queue_depth
+        self.name = name
+        # bind label children once — admission charges them per query,
+        # never paying the label lookup on the hot path
+        self._m_admitted = _M_QUERIES.labels(sched=name,
+                                             outcome="admitted")
+        self._m_rejected = _M_QUERIES.labels(sched=name,
+                                             outcome="rejected")
+        self._m_expired = _M_QUERIES.labels(sched=name,
+                                            outcome="expired")
+        self._m_park_wait = _M_PARK_WAIT.labels(sched=name)
+        self._m_inflight = _M_INFLIGHT.labels(sched=name)
+        self._m_parked = _M_PARKED.labels(sched=name)
+        self._m_granules = _M_GRANULES.labels(sched=name)
         self._cond = threading.Condition()
         self._ready: deque[_Job] = deque()   # jobs with queued granules
         self._admit_queue: deque[object] = deque()  # parked FIFO tickets
@@ -116,7 +151,7 @@ class MorselScheduler:
             thread.start()
 
     # ---------------------------------------------------------- admission
-    def _admit(self, deadline: float | None) -> bool:
+    def _admit(self, deadline: float | None, trace=None) -> bool:
         """Take an execution slot; park FIFO when full.  Returns False
         when the query's deadline expired while parked; raises
         :class:`ServerBusy` when the parking queue is itself full."""
@@ -127,41 +162,68 @@ class MorselScheduler:
                     self._inflight < self.max_inflight
                     and not self._admit_queue):
                 self._inflight += 1
+                self._m_admitted.inc()
+                self._m_inflight.inc()
+                if trace is not None:
+                    now = trace.now()
+                    trace.add("admit", now, now, outcome="immediate")
                 return True
             if self.queue_depth is not None and \
                     len(self._admit_queue) >= self.queue_depth:
                 self.queries_rejected += 1
+                self._m_rejected.inc()
                 raise ServerBusy(
                     f"scheduler at capacity: {self._inflight} queries in "
                     f"flight, {len(self._admit_queue)} parked "
                     f"(max_inflight={self.max_inflight}, "
                     f"queue_depth={self.queue_depth})")
             ticket = object()
+            parked_at = time.perf_counter()
             self._admit_queue.append(ticket)
-            while True:
-                if self._closed:
-                    self._admit_queue.remove(ticket)
-                    self._cond.notify_all()
-                    raise RuntimeError("scheduler is closed")
-                if self._admit_queue[0] is ticket and \
-                        self._inflight < self.max_inflight:
-                    self._admit_queue.popleft()
-                    self._inflight += 1
-                    self._cond.notify_all()
-                    return True
-                timeout = None
-                if deadline is not None:
-                    timeout = deadline - time.perf_counter()
-                    if timeout <= 0:
+            self._m_parked.inc()
+            try:
+                while True:
+                    if self._closed:
                         self._admit_queue.remove(ticket)
                         self._cond.notify_all()
-                        return False
-                self._cond.wait(timeout)
+                        raise RuntimeError("scheduler is closed")
+                    if self._admit_queue[0] is ticket and \
+                            self._inflight < self.max_inflight:
+                        self._admit_queue.popleft()
+                        self._inflight += 1
+                        self._cond.notify_all()
+                        waited = time.perf_counter() - parked_at
+                        self._m_park_wait.observe(waited)
+                        self._m_admitted.inc()
+                        self._m_inflight.inc()
+                        if trace is not None:
+                            end = trace.now()
+                            trace.add("park", end - waited, end,
+                                      outcome="admitted")
+                        return True
+                    timeout = None
+                    if deadline is not None:
+                        timeout = deadline - time.perf_counter()
+                        if timeout <= 0:
+                            self._admit_queue.remove(ticket)
+                            self._cond.notify_all()
+                            waited = time.perf_counter() - parked_at
+                            self._m_park_wait.observe(waited)
+                            self._m_expired.inc()
+                            if trace is not None:
+                                end = trace.now()
+                                trace.add("park", end - waited, end,
+                                          outcome="expired")
+                            return False
+                    self._cond.wait(timeout)
+            finally:
+                self._m_parked.dec()
 
     def _release(self) -> None:
         with self._cond:
             self._inflight -= 1
             self.queries_completed += 1
+            self._m_inflight.dec()
             self._cond.notify_all()
 
     # ---------------------------------------------------------- dispatch
@@ -193,6 +255,7 @@ class MorselScheduler:
         job.results[idx] = result
         job.outstanding -= 1
         self.granules_executed += 1
+        job.executed += 1  # charged to the metric once, in run_query
         if job.outstanding == 0:
             job.done.set()
 
@@ -224,17 +287,19 @@ class MorselScheduler:
 
     # ------------------------------------------------------------- queries
     def run_query(self, fn, items, cancel: threading.Event,
-                  deadline: float | None = None) -> list:
+                  deadline: float | None = None, trace=None) -> list:
         """Run ``fn(item)`` for every item on the shared pool.
 
         Blocks until the job finishes (or its deadline drains it) and
         returns results in item order — ``None`` where a granule was
         skipped by cancellation.  The first worker exception re-raises
         here; :class:`ServerBusy` raises before any work when admission
-        rejects the query.
+        rejects the query.  ``trace`` (a :class:`repro.obs.Trace`)
+        records admit/park spans — passed explicitly, per the obs
+        propagation rule.
         """
         items = list(items)
-        if not self._admit(deadline):
+        if not self._admit(deadline, trace):
             return [None] * len(items)  # deadline spent parked: 0/N ran
         job = _Job(fn, items, cancel, deadline)
         try:
@@ -255,6 +320,8 @@ class MorselScheduler:
                     break
         finally:
             self._release()
+            if job.executed:
+                self._m_granules.inc(job.executed)
         if job.failure is not None:
             raise job.failure
         return job.results

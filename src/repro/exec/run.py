@@ -42,15 +42,90 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exec.errors import CorruptChunkError, ExecTimeout, GranuleError
+from repro.exec.errors import (CorruptChunkError, ExecTimeout,
+                               GranuleError, ServerBusy)
 from repro.exec.expr import And, split_pushdown
 from repro.exec.plan import Aggregate, HashJoin, Plan
+from repro.obs import metrics as obs_metrics
 
 #: cap on auto-selected executor threads
 MAX_AUTO_THREADS = 8
 
 #: transient-read retry budget per granule load (EIO only)
 DEFAULT_IO_RETRIES = 2
+
+# process-wide executor metrics — charged ONCE per query from the merged
+# ExecStats (never per row, never per granule), so always-on cost is a
+# handful of lock acquisitions per execute() call
+_M_QUERIES = obs_metrics.counter(
+    "repro_exec_queries_total", "plan executions by terminal status",
+    labels=("status",))
+_M_QUERY_STATUS = {s: _M_QUERIES.labels(status=s)
+                   for s in ("ok", "timeout", "error", "busy")}
+_M_GRANULES = obs_metrics.counter(
+    "repro_exec_granules_total", "granules examined by outcome",
+    labels=("outcome",))
+_M_GRANULES_RUN = _M_GRANULES.labels(outcome="executed")
+_M_GRANULES_PRUNED = _M_GRANULES.labels(outcome="pruned")
+_M_ROWS = obs_metrics.counter(
+    "repro_exec_rows_total", "rows surviving filters / masked away",
+    labels=("kind",))
+_M_ROWS_SCANNED = _M_ROWS.labels(kind="scanned")
+_M_ROWS_MASKED = _M_ROWS.labels(kind="masked")
+_M_BYTES = obs_metrics.counter(
+    "repro_exec_bytes_total",
+    "stored bytes of chunks scanned / actually read (cache misses)",
+    labels=("kind",))
+_M_BYTES_SCANNED = _M_BYTES.labels(kind="scanned")
+_M_BYTES_READ = _M_BYTES.labels(kind="read")
+_M_IO_RETRIES = obs_metrics.counter(
+    "repro_exec_io_retries_total", "transient EIO loads retried")
+_M_CORRUPT = obs_metrics.counter(
+    "repro_exec_corrupt_chunks_total",
+    "granules quarantined by on_corruption=skip")
+_M_CPU = obs_metrics.counter(
+    "repro_exec_cpu_seconds_total", "executor CPU by pipeline phase",
+    labels=("phase",))
+_M_CPU_PHASE = {p: _M_CPU.labels(phase=p)
+                for p in ("filter", "gather", "aggregate", "join")}
+_M_QUERY_SECONDS = obs_metrics.histogram(
+    "repro_exec_query_seconds", "wall-clock time per plan execution")
+
+
+def _charge_query_metrics(stats: ExecStats, status: str) -> None:
+    """Charge the merged per-query accounting to the registry (one call
+    per execute() exit — ok, timeout, error, or busy).  Zero amounts are
+    skipped: every inc is a lock round-trip, and a selective query
+    leaves most of these at zero — the ≤5% always-on budget is paid
+    here."""
+    _M_QUERY_STATUS[status].inc()
+    executed = stats.granules_total - stats.granules_pruned
+    if executed:
+        _M_GRANULES_RUN.inc(executed)
+    if stats.granules_pruned:
+        _M_GRANULES_PRUNED.inc(stats.granules_pruned)
+    if stats.rows_scanned:
+        _M_ROWS_SCANNED.inc(stats.rows_scanned)
+    if stats.rows_masked:
+        _M_ROWS_MASKED.inc(stats.rows_masked)
+    if stats.bytes_scanned:
+        _M_BYTES_SCANNED.inc(stats.bytes_scanned)
+    if stats.bytes_read:
+        _M_BYTES_READ.inc(stats.bytes_read)
+    if stats.io_retries:
+        _M_IO_RETRIES.inc(stats.io_retries)
+    if stats.chunks_corrupt:
+        _M_CORRUPT.inc(stats.chunks_corrupt)
+    if stats.cpu_filter_s:
+        _M_CPU_PHASE["filter"].inc(stats.cpu_filter_s)
+    if stats.cpu_gather_s:
+        _M_CPU_PHASE["gather"].inc(stats.cpu_gather_s)
+    if stats.cpu_aggregate_s:
+        _M_CPU_PHASE["aggregate"].inc(stats.cpu_aggregate_s)
+    if stats.cpu_join_s:
+        _M_CPU_PHASE["join"].inc(stats.cpu_join_s)
+    if status in ("ok", "timeout"):
+        _M_QUERY_SECONDS.observe(stats.wall_s)
 
 
 @dataclass
@@ -127,6 +202,7 @@ class ExecResult:
     pushdown: bool = True
     implicit_desc: str | None = None  # source-implied term (deletion
     #                                   vectors), ANDed into the filter
+    trace: object | None = None  # the repro.obs.Trace when traced
 
     @property
     def n_rows(self) -> int:
@@ -184,7 +260,10 @@ class ExecResult:
                f"join {stats.cpu_join_s * 1e3:.2f} ms")
         tail = (f"io: {stats.io_s * 1e3:.2f} ms charged; "
                 f"wall: {stats.wall_s * 1e3:.2f} ms")
-        return "\n".join([tree, pruned, rows, cpu, tail])
+        lines_out = [tree, pruned, rows, cpu, tail]
+        if self.trace is not None:
+            lines_out.append(f"trace: {self.trace.summary()}")
+        return "\n".join(lines_out)
 
 
 @dataclass
@@ -325,7 +404,7 @@ def execute(plan: Plan, source, threads: int | None = None,
             on_corruption: str = "raise",
             timeout_s: float | None = None,
             io_retries: int = DEFAULT_IO_RETRIES,
-            scheduler=None) -> ExecResult:
+            scheduler=None, trace=None) -> ExecResult:
     """Run ``plan`` over ``source``.
 
     Parameters
@@ -366,6 +445,13 @@ def execute(plan: Plan, source, threads: int | None = None,
         admission control and fair/SJF interleaving apply; may raise
         :class:`~repro.exec.errors.ServerBusy`).  ``None`` uses the
         shared process pool for auto-threaded queries.
+    trace:
+        A :class:`repro.obs.Trace` to record spans into (pay-as-you-go:
+        the default ``None`` skips all tracing).  The trace travels as
+        an explicit parameter — through the scheduler's ``run_query``
+        and into each granule's closure — never as a thread-local,
+        because pool threads interleave granules of many queries.  The
+        result carries it back as :attr:`ExecResult.trace`.
     """
     if on_corruption not in ("raise", "skip"):
         raise ValueError(
@@ -432,6 +518,8 @@ def execute(plan: Plan, source, threads: int | None = None,
             if seq is not None:
                 return seq
             where["column"] = column
+            t_load = trace.now() if trace is not None else 0.0
+            pre_hits = st.cache_hits
             attempt = 0
             while True:
                 try:
@@ -448,17 +536,23 @@ def execute(plan: Plan, source, threads: int | None = None,
                         rng = random.Random(0x9E3779B9 ^ granule.index)
                     time.sleep(rng.uniform(0.0005, 0.002) * attempt)
             loaded[column] = seq
+            if trace is not None:
+                trace.add("load", t_load, trace.now(),
+                          granule=granule.index, column=column,
+                          cache_hit=st.cache_hits > pre_hits)
             return seq
 
+        t_span = trace.now() if trace is not None else 0.0
         try:
-            return _pipeline(granule, st, load)
+            part = _pipeline(granule, st, load)
         except CorruptChunkError:
             if on_corruption == "skip":
                 st.chunks_corrupt += 1
-                return _Partial(_EMPTY, {c: _EMPTY for c in output_cols},
+                part = _Partial(_EMPTY, {c: _EMPTY for c in output_cols},
                                 None, st)
-            cancel.set()
-            raise
+            else:
+                cancel.set()
+                raise
         except GranuleError:
             cancel.set()
             raise
@@ -469,6 +563,14 @@ def execute(plan: Plan, source, threads: int | None = None,
                 err, granule=granule.index,
                 shard=shard_of(granule) if callable(shard_of) else None,
                 column=where["column"]) from err
+        if trace is not None:
+            trace.add("granule", t_span, trace.now(),
+                      granule=granule.index,
+                      pruned=bool(st.granules_pruned),
+                      cache_hits=st.cache_hits,
+                      cache_misses=st.cache_misses,
+                      rows=st.rows_scanned)
+        return part
 
     def _pipeline(granule, st: ExecStats, load) -> _Partial:
         n = granule.n_rows
@@ -513,6 +615,10 @@ def execute(plan: Plan, source, threads: int | None = None,
                 residual_values = {c: values[keep]
                                    for c, values in batch.items()}
             st.cpu_filter_s += time.perf_counter() - t0
+            if trace is not None:
+                trace.add("filter", t0 - trace.t0,
+                          time.perf_counter() - trace.t0,
+                          granule=granule.index)
         else:
             # naive: decode every predicate column fully, then compare
             for c in pred_cols:
@@ -521,6 +627,10 @@ def execute(plan: Plan, source, threads: int | None = None,
             row_ids = granule.row_start + np.arange(n, dtype=np.int64)
             positions = np.flatnonzero(expr.evaluate(naive_batch, row_ids))
             st.cpu_filter_s += time.perf_counter() - t0
+            if trace is not None:
+                trace.add("filter", t0 - trace.t0,
+                          time.perf_counter() - trace.t0,
+                          granule=granule.index)
 
         st.rows_scanned += n if positions is None else len(positions)
         if positions is not None and positions.size == 0:
@@ -541,6 +651,10 @@ def execute(plan: Plan, source, threads: int | None = None,
             else:
                 out[c] = load(c).gather(positions)
         st.cpu_gather_s += time.perf_counter() - t0
+        if trace is not None:
+            trace.add("gather", t0 - trace.t0,
+                      time.perf_counter() - trace.t0,
+                      granule=granule.index)
         row_ids = granule.row_start + (
             np.arange(n, dtype=np.int64) if positions is None
             else positions)
@@ -549,11 +663,19 @@ def execute(plan: Plan, source, threads: int | None = None,
             t0 = time.perf_counter()
             agg = _agg_partial(terminal, out, len(row_ids))
             st.cpu_aggregate_s += time.perf_counter() - t0
+            if trace is not None:
+                trace.add("aggregate", t0 - trace.t0,
+                          time.perf_counter() - trace.t0,
+                          granule=granule.index)
             return _Partial(_EMPTY, {}, agg, st)
         if isinstance(terminal, HashJoin):
             t0 = time.perf_counter()
             row_ids, columns = _probe(terminal, out, row_ids, output_cols)
             st.cpu_join_s += time.perf_counter() - t0
+            if trace is not None:
+                trace.add("join", t0 - trace.t0,
+                          time.perf_counter() - trace.t0,
+                          granule=granule.index)
             return _Partial(row_ids, columns, None, st)
         return _Partial(row_ids, {c: out[c] for c in output_cols},
                         None, st)
@@ -563,71 +685,81 @@ def execute(plan: Plan, source, threads: int | None = None,
     partials: list[_Partial] = []
     timed_out = False
     failure: BaseException | None = None
-    if scheduler is None and (n_threads == 1 or len(granules) <= 1):
-        for granule in granules:
-            part = run_granule(granule)
-            if part is None:
-                timed_out = True
-                break
-            partials.append(part)
-    elif scheduler is not None or threads is None:
-        # the shared morsel scheduler: granules from every in-flight
-        # query interleave on one process-wide pool (an explicit
-        # ``threads=N`` keeps the legacy per-call pool below)
-        from repro.exec.pool import shared_scheduler
-
-        sched = scheduler if scheduler is not None else shared_scheduler()
-        for part in sched.run_query(run_granule, granules, cancel,
-                                    deadline):
-            if part is None:
-                timed_out = True
-            else:
-                partials.append(part)
-    else:
-        with ThreadPoolExecutor(max_workers=n_threads) as pool:
-            futures = [pool.submit(run_granule, g) for g in granules]
-            for fut in futures:
-                if failure is not None or timed_out:
-                    # first failure/timeout wins: cancel everything not
-                    # yet started; running granules see the cancel event
-                    fut.cancel()
-                    continue
-                remaining = None if deadline is None \
-                    else deadline - time.perf_counter()
-                try:
-                    if remaining is not None and remaining <= 0:
-                        raise FutureTimeout()
-                    part = fut.result(timeout=remaining)
-                except FutureTimeout:
-                    timed_out = True
-                    cancel.set()
-                    fut.cancel()
-                    continue
-                except CancelledError:
-                    continue
-                except BaseException as err:
-                    failure = err
-                    cancel.set()
-                    fut.cancel()
-                    continue
+    try:
+        if scheduler is None and (n_threads == 1 or len(granules) <= 1):
+            for granule in granules:
+                part = run_granule(granule)
                 if part is None:
                     timed_out = True
-                    cancel.set()
-                    continue
+                    break
                 partials.append(part)
-    if failure is not None:
-        raise failure
+        elif scheduler is not None or threads is None:
+            # the shared morsel scheduler: granules from every in-flight
+            # query interleave on one process-wide pool (an explicit
+            # ``threads=N`` keeps the legacy per-call pool below)
+            from repro.exec.pool import shared_scheduler
+
+            sched = scheduler if scheduler is not None \
+                else shared_scheduler()
+            for part in sched.run_query(run_granule, granules, cancel,
+                                        deadline, trace=trace):
+                if part is None:
+                    timed_out = True
+                else:
+                    partials.append(part)
+        else:
+            with ThreadPoolExecutor(max_workers=n_threads) as pool:
+                futures = [pool.submit(run_granule, g) for g in granules]
+                for fut in futures:
+                    if failure is not None or timed_out:
+                        # first failure/timeout wins: cancel everything
+                        # not yet started; running granules see the
+                        # cancel event
+                        fut.cancel()
+                        continue
+                    remaining = None if deadline is None \
+                        else deadline - time.perf_counter()
+                    try:
+                        if remaining is not None and remaining <= 0:
+                            raise FutureTimeout()
+                        part = fut.result(timeout=remaining)
+                    except FutureTimeout:
+                        timed_out = True
+                        cancel.set()
+                        fut.cancel()
+                        continue
+                    except CancelledError:
+                        continue
+                    except BaseException as err:
+                        failure = err
+                        cancel.set()
+                        fut.cancel()
+                        continue
+                    if part is None:
+                        timed_out = True
+                        cancel.set()
+                        continue
+                    partials.append(part)
+    except BaseException as err:
+        failure = err
 
     stats = ExecStats()
     for part in partials:
         stats.merge(part.stats)
+    if failure is not None:
+        stats.wall_s = time.perf_counter() - start
+        _charge_query_metrics(
+            stats, "busy" if isinstance(failure, ServerBusy) else "error")
+        raise failure
     if timed_out:
         stats.wall_s = time.perf_counter() - start
+        _charge_query_metrics(stats, "timeout")
         raise ExecTimeout(
             f"query exceeded timeout_s={timeout_s} "
             f"({len(partials)}/{len(granules)} granules completed)",
             stats=stats)
 
+    t_merge = trace.now() if trace is not None else 0.0
     groups = None
     if isinstance(terminal, Aggregate):
         merged: dict = {}
@@ -656,6 +788,10 @@ def execute(plan: Plan, source, threads: int | None = None,
         }
 
     stats.wall_s = time.perf_counter() - start
+    if trace is not None:
+        trace.add("merge", t_merge, trace.now(),
+                  partials=len(partials), granules=len(granules))
+    _charge_query_metrics(stats, "ok")
     return ExecResult(
         columns=columns, row_ids=row_ids, groups=groups, stats=stats,
         plan=plan, source_desc=source.describe(),
@@ -664,4 +800,5 @@ def execute(plan: Plan, source, threads: int | None = None,
         residual_desc=repr(residual) if residual is not None else None,
         pushdown=pushdown,
         implicit_desc=repr(implicit_expr) if implicit_expr is not None
-        else None)
+        else None,
+        trace=trace)

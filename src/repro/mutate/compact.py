@@ -18,17 +18,38 @@ writer having to think about it.
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 
 import numpy as np
 
 from repro import faults
 from repro.faults import SimulatedCrash
 from repro.mutate import manifest as chain
+from repro.obs import metrics as obs_metrics
 from repro.store.writer import TableWriter
 
 #: rewrite shards whose live-row fraction falls below this
 DEFAULT_THRESHOLD = 0.5
+
+_M_PASSES = obs_metrics.counter(
+    "repro_mutate_compact_passes_total",
+    "compaction passes that committed a generation")
+_M_SECONDS = obs_metrics.histogram(
+    "repro_mutate_compact_seconds", "committed compaction pass duration")
+_M_ROWS_RECLAIMED = obs_metrics.counter(
+    "repro_mutate_compact_rows_reclaimed_total",
+    "dead rows folded away by compaction")
+_M_BYTES_RECLAIMED = obs_metrics.counter(
+    "repro_mutate_compact_bytes_reclaimed_total",
+    "shard-file bytes reclaimed by compaction")
+_M_COMPACTOR_ERRORS = obs_metrics.counter(
+    "repro_mutate_compactor_errors_total",
+    "BackgroundCompactor passes that raised (surfaced via .errors)")
+_M_COMPACTOR_CRASHES = obs_metrics.counter(
+    "repro_mutate_compactor_crashes_total",
+    "BackgroundCompactor threads killed by an injected crash")
 
 
 def live_fractions(table) -> list[float]:
@@ -69,6 +90,18 @@ def compact_table(table, codec, threshold: float = DEFAULT_THRESHOLD
                for i, frac in enumerate(fractions)]
     if not any(qualify):
         return None
+    t_pass = time.perf_counter()
+    rows_rewritten = sum(table.manifest.shards[i]["n_rows"]
+                         for i, q in enumerate(qualify) if q)
+    bytes_dropped = 0
+    for i, q in enumerate(qualify):
+        if q:
+            try:
+                bytes_dropped += os.path.getsize(table.shards[i].path)
+            except OSError:
+                pass
+    rows_kept = 0
+    bytes_written = 0
     generation = table.generation + 1
     entries: list[dict] = []
     rows_before = 0
@@ -107,9 +140,21 @@ def compact_table(table, codec, threshold: float = DEFAULT_THRESHOLD
             writer.abort()
             raise
         entries.extend(writer.shard_entries)
-        rows_before += sum(e["n_rows"] for e in writer.shard_entries)
+        run_rows = sum(e["n_rows"] for e in writer.shard_entries)
+        rows_before += run_rows
+        rows_kept += run_rows
+        for e in writer.shard_entries:
+            try:
+                bytes_written += os.path.getsize(
+                    os.path.join(table.path, e["file"]))
+            except OSError:
+                pass
     faults.fire("compact.commit", generation=generation)
     chain.commit(table.path, table.manifest, entries, generation)
+    _M_PASSES.inc()
+    _M_SECONDS.observe(time.perf_counter() - t_pass)
+    _M_ROWS_RECLAIMED.inc(max(rows_rewritten - rows_kept, 0))
+    _M_BYTES_RECLAIMED.inc(max(bytes_dropped - bytes_written, 0))
     return generation
 
 
@@ -155,10 +200,12 @@ class BackgroundCompactor:
                 # dying mid-compaction: no cleanup, no retry — recovery
                 # happens on the next open, never here
                 self.crashed = crash
+                _M_COMPACTOR_CRASHES.inc()
                 self._stop.set()
                 return
             except Exception as exc:  # surfaced via .errors, not lost
                 self.errors.append(exc)
+                _M_COMPACTOR_ERRORS.inc()
             else:
                 if generation is not None:
                     self.history.append(generation)

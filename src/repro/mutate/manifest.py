@@ -37,6 +37,11 @@ from repro.store.format import (
     write_manifest,
 )
 from repro.mutate.wal import wal_file_name
+from repro.obs import metrics as obs_metrics
+
+_M_GENERATIONS = obs_metrics.counter(
+    "repro_mutate_generations_total",
+    "manifest generations committed (flushes + compactions)")
 
 _WAL_RE = re.compile(r"wal-(\d{6})\.log$")
 _WAL_SIDE_RE = re.compile(r"wal-(\d{6})\.log(\.corrupt)?$")
@@ -109,6 +114,7 @@ def commit(directory: str, base: Manifest, entries: list[dict],
     write_manifest(directory, manifest, generation=generation)
     write_current(directory, generation)
     rotate_wal(directory, generation)
+    _M_GENERATIONS.inc()
     return manifest
 
 

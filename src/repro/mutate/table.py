@@ -31,10 +31,12 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 
 import numpy as np
 
 from repro.exec import ArraySource, ChainSource, Plan, Range
+from repro.obs import metrics as obs_metrics
 from repro.exec.expr import Expr
 from repro.faults import SimulatedCrash
 from repro.mutate import manifest as chain
@@ -52,6 +54,12 @@ from repro.store.writer import (
     DEFAULT_SHARD_ROWS,
     TableWriter,
 )
+
+
+_M_FLUSH_SECONDS = obs_metrics.histogram(
+    "repro_mutate_flush_seconds", "memtable flush duration")
+_M_FLUSH_ROWS = obs_metrics.counter(
+    "repro_mutate_flush_rows_total", "memtable rows published by flushes")
 
 
 def _as_expr(where) -> Expr:
@@ -351,6 +359,8 @@ class MutableTable:
             self._check_open()
             if not self._memtable.dirty:
                 return self.generation
+            t_flush = time.perf_counter()
+            flushed_rows = self._memtable.n_rows
             generation = self.generation + 1
             entries = chain.base_shard_entries(
                 self._base, self._memtable.base_deleted, generation,
@@ -375,6 +385,8 @@ class MutableTable:
             chain.commit(self.path, self._base.manifest, entries,
                          generation)
             self._reopen(generation)
+            _M_FLUSH_SECONDS.observe(time.perf_counter() - t_flush)
+            _M_FLUSH_ROWS.inc(flushed_rows)
             return generation
 
     def compact(self, threshold: float = 0.5) -> int | None:

@@ -32,12 +32,21 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 
 import numpy as np
 
 from repro import faults
 from repro.exec.expr import And, Expr, InSet, Or, Range
+from repro.obs import metrics as obs_metrics
+
+_M_APPENDS = obs_metrics.counter(
+    "repro_wal_appends_total", "records framed into a WAL")
+_M_BYTES = obs_metrics.counter(
+    "repro_wal_bytes_total", "framed bytes written to WALs")
+_M_FSYNC = obs_metrics.histogram(
+    "repro_wal_fsync_seconds", "WAL fsync latency (sync=True only)")
 
 #: WAL file leading magic
 WAL_MAGIC = b"RPWL"
@@ -161,9 +170,13 @@ class WriteAheadLog:
                  + zlib.crc32(payload).to_bytes(4, "little") + payload)
         faults.write_through("wal.append", self._fh, frame)
         self._fh.flush()
+        _M_APPENDS.inc()
+        _M_BYTES.inc(len(frame))
         if self.sync:
             faults.fire("wal.fsync", path=self.path)
+            t0 = time.perf_counter()
             os.fsync(self._fh.fileno())
+            _M_FSYNC.observe(time.perf_counter() - t0)
 
     def log_append(self, columns: dict[str, np.ndarray]) -> None:
         self._write(_encode_append(columns))

@@ -1,0 +1,45 @@
+"""repro.obs — process-wide observability: metrics, traces, surfaces.
+
+* :mod:`repro.obs.metrics` — thread-safe counter/gauge/histogram
+  registry with Prometheus-style text exposition; every subsystem
+  charges the process-wide default registry (``render_text()`` is the
+  ``/metrics`` body).
+* :mod:`repro.obs.trace` — per-query span tracing propagated as an
+  explicit context object (``execute(..., trace=Trace())``),
+  exportable as JSON or Chrome ``trace_event``.
+* ``python -m repro.obs render trace.json`` — pretty-print a trace.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ReservoirQuantiles,
+    counter,
+    default_registry,
+    gauge,
+    histogram,
+    parse_text,
+    render_text,
+    set_enabled,
+)
+from repro.obs.trace import Span, Trace, render_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ReservoirQuantiles",
+    "Span",
+    "Trace",
+    "counter",
+    "default_registry",
+    "gauge",
+    "histogram",
+    "parse_text",
+    "render_text",
+    "render_trace",
+    "set_enabled",
+]

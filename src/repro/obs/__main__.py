@@ -1,0 +1,74 @@
+"""CLI: ``python -m repro.obs render trace.json``.
+
+``render`` pretty-prints a trace file — either a plain
+:meth:`Trace.to_json` payload or a slow-query-log JSONL line (it picks
+the ``trace`` field out of log records automatically).  ``--chrome``
+re-emits the Chrome ``trace_event`` JSON instead, for chrome://tracing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.trace import Trace, dump_chrome, render_trace
+
+
+def _load_payloads(path: str) -> list[dict]:
+    """Trace payloads from ``path``: a single JSON document, or JSONL
+    where each line is a trace or a slow-query record wrapping one."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        docs = [json.loads(text)]
+    except json.JSONDecodeError:
+        docs = [json.loads(line) for line in text.splitlines()
+                if line.strip()]
+    payloads = []
+    for doc in docs:
+        if "spans" in doc:
+            payloads.append(doc)
+        elif isinstance(doc.get("trace"), dict):  # slow-query record
+            payload = doc["trace"]
+            payload.setdefault("attrs", {})
+            for key in ("table", "op", "elapsed_ms"):
+                if key in doc:
+                    payload["attrs"].setdefault(key, doc[key])
+            payloads.append(payload)
+        else:
+            raise SystemExit(f"{path}: no trace found in record "
+                             f"with keys {sorted(doc)}")
+    return payloads
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    for payload in _load_payloads(args.path):
+        if args.chrome:
+            print(dump_chrome(Trace.from_json(payload)))
+        else:
+            print(render_trace(payload, width=args.width))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="observability utilities")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    render = sub.add_parser(
+        "render", help="pretty-print a trace JSON / slow-query JSONL file")
+    render.add_argument("path", help="trace .json or slow-query .jsonl")
+    render.add_argument("--width", type=int, default=72,
+                        help="gantt bar width in characters")
+    render.add_argument("--chrome", action="store_true",
+                        help="emit Chrome trace_event JSON instead")
+    render.set_defaults(fn=_cmd_render)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

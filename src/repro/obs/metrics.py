@@ -1,0 +1,539 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` holds every instrument the stack exposes —
+the scheduler's admission outcomes, the chunk cache's hit/miss/eviction
+totals, the executor's work accounting, the WAL/flush/compaction
+counters — and renders them as zero-dependency Prometheus-style text
+exposition (the ``/metrics`` endpoint of the table server, and the
+``metrics`` wire op).
+
+Contracts:
+
+* **Get-or-create by name.**  ``registry.counter(name, ...)`` returns
+  the existing instrument when the name is already registered (and
+  raises when the kind or label names disagree) — two ``ChunkCache``
+  instances charging ``repro_cache_lookups_total`` share one series.
+  The module-level :func:`counter`/:func:`gauge`/:func:`histogram`
+  helpers operate on the process-wide default registry.
+* **Always-on cheap.**  Every mutation is one short per-child lock
+  (CPython ``+=`` is not atomic across threads — the conformance suite
+  proves no increments are lost under contention).  Instrumented code
+  charges *per granule / per chunk / per query*, never per row.
+  :func:`set_enabled` flips a process-wide kill switch that turns every
+  ``inc``/``set``/``observe`` into a no-op — the uninstrumented
+  baseline ``benchmarks/bench_obs.py`` gates the ≤5 % overhead budget
+  against.
+* **Names** follow ``repro_<area>_<noun>[_<unit>]`` with counters
+  suffixed ``_total``; label values are coerced to ``str``.
+
+:func:`parse_text` parses the exposition format back (names, types,
+labels, values) — the conformance tests round-trip every registered
+instrument through it, so the rendering can never silently drift from
+what a Prometheus scraper would read.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+import threading
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ReservoirQuantiles",
+    "counter",
+    "default_registry",
+    "enabled",
+    "gauge",
+    "histogram",
+    "parse_text",
+    "render_text",
+    "set_enabled",
+]
+
+#: default histogram buckets (seconds): sub-ms through tens of seconds
+DEFAULT_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                   0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: process-wide instrumentation kill switch (see :func:`set_enabled`)
+_ENABLED = True
+
+
+def set_enabled(flag: bool) -> None:
+    """Turn every instrument mutation into a no-op (``False``) or back
+    on (``True``).  Registration and rendering are unaffected — series
+    keep their last values while disabled."""
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n") \
+                .replace('"', '\\"')
+
+
+def _unescape(value: str) -> str:
+    out, i = [], 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _format_value(v: float) -> str:
+    if v == float("inf"):
+        return "+Inf"
+    if isinstance(v, bool):
+        return str(int(v))
+    if float(v).is_integer() and abs(v) < 1e15:
+        return str(int(v))
+    return repr(float(v))
+
+
+def _format_labels(names: tuple[str, ...], values: tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(f'{n}="{_escape(v)}"'
+                     for n, v in zip(names, values))
+    return "{" + inner + "}"
+
+
+class _Child:
+    """One labelled series of an instrument (the ``()`` child when the
+    instrument has no labels)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class _CounterChild(_Child):
+    def inc(self, amount: float = 1.0) -> None:
+        if not _ENABLED:
+            return
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+
+class _GaugeChild(_Child):
+    def set(self, value: float) -> None:
+        if not _ENABLED:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _ENABLED:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...]):
+        self._lock = threading.Lock()
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        if not _ENABLED:
+            return
+        idx = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self.sum += value
+            self.count += 1
+
+    def snapshot(self) -> tuple[list[int], float, int]:
+        """(cumulative bucket counts incl. +Inf, sum, count)."""
+        with self._lock:
+            counts = list(self.counts)
+            total, n = self.sum, self.count
+        cumulative, running = [], 0
+        for c in counts:
+            running += c
+            cumulative.append(running)
+        return cumulative, total, n
+
+
+class _Instrument:
+    """Named family of series; :meth:`labels` returns (and memoizes)
+    one child per label-value tuple."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: tuple[str, ...] = ()):
+        _validate_name(name)
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+        if not self.labelnames:
+            self._children[()] = self._make_child()
+
+    def _make_child(self):
+        raise NotImplementedError
+
+    def labels(self, **labelvalues):
+        """The child series for these label values (created on first
+        use).  Label keys must match the registered label names."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: labels() wants exactly "
+                f"{self.labelnames}, got {tuple(labelvalues)}")
+        key = tuple(str(labelvalues[n]) for n in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key,
+                                                  self._make_child())
+        return child
+
+    def children(self) -> dict[tuple[str, ...], object]:
+        with self._lock:
+            return dict(self._children)
+
+    def _default_child(self):
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} is labelled by {self.labelnames}; "
+                "call .labels(...) first")
+        return self._children[()]
+
+
+class Counter(_Instrument):
+    """Monotonic counter (rendered with its ``_total`` suffix intact)."""
+
+    kind = "counter"
+
+    def _make_child(self):
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class Gauge(_Instrument):
+    """Point-in-time value (in-flight queries, cache bytes, ...)."""
+
+    kind = "gauge"
+
+    def _make_child(self):
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram (cumulative ``le`` buckets + sum/count)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: tuple[str, ...] = (),
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        buckets = tuple(sorted(float(b) for b in buckets))
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket")
+        self.buckets = buckets
+        super().__init__(name, help, labelnames)
+
+    def _make_child(self):
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+
+def _validate_name(name: str) -> None:
+    ok = name and (name[0].isalpha() or name[0] == "_") and all(
+        ch.isalnum() or ch == "_" for ch in name)
+    if not ok:
+        raise ValueError(f"bad metric name {name!r} "
+                         "(want [a-zA-Z_][a-zA-Z0-9_]*)")
+
+
+class MetricsRegistry:
+    """Thread-safe name → instrument map with text exposition."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    # -------------------------------------------------------- registration
+    def _get_or_create(self, cls, name: str, help: str,
+                       labelnames: tuple[str, ...], **kwargs):
+        labelnames = tuple(labelnames)
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if type(existing) is not cls or \
+                        existing.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels "
+                        f"{existing.labelnames}")
+                return existing
+            instrument = cls(name, help, labelnames, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "",
+                labels: tuple[str, ...] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: tuple[str, ...] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS
+                  ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels,
+                                   buckets=buckets)
+
+    def get(self, name: str) -> _Instrument | None:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def instruments(self) -> list[_Instrument]:
+        with self._lock:
+            return list(self._instruments.values())
+
+    # ---------------------------------------------------------- exposition
+    def render(self) -> str:
+        """Prometheus text exposition (format 0.0.4) of every series."""
+        lines: list[str] = []
+        for inst in sorted(self.instruments(), key=lambda i: i.name):
+            if inst.help:
+                lines.append(f"# HELP {inst.name} {inst.help}")
+            lines.append(f"# TYPE {inst.name} {inst.kind}")
+            for key, child in sorted(inst.children().items()):
+                if inst.kind == "histogram":
+                    cumulative, total, n = child.snapshot()
+                    edges = list(inst.buckets) + [float("inf")]
+                    for edge, c in zip(edges, cumulative):
+                        labels = _format_labels(
+                            inst.labelnames + ("le",),
+                            key + (_format_value(edge),))
+                        lines.append(f"{inst.name}_bucket{labels} {c}")
+                    labels = _format_labels(inst.labelnames, key)
+                    lines.append(
+                        f"{inst.name}_sum{labels} {_format_value(total)}")
+                    lines.append(f"{inst.name}_count{labels} {n}")
+                else:
+                    labels = _format_labels(inst.labelnames, key)
+                    lines.append(f"{inst.name}{labels} "
+                                 f"{_format_value(child.value)}")
+        return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------- parsing
+def _parse_labels(text: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        name = text[i:eq].strip().rstrip()
+        assert text[eq + 1] == '"', f"unquoted label value in {text!r}"
+        j = eq + 2
+        raw = []
+        while text[j] != '"':
+            if text[j] == "\\":
+                raw.append(text[j: j + 2])
+                j += 2
+            else:
+                raw.append(text[j])
+                j += 1
+        labels[name] = _unescape("".join(raw))
+        i = j + 1
+        if i < len(text) and text[i] == ",":
+            i += 1
+    return labels
+
+
+def parse_text(text: str) -> dict[str, dict]:
+    """Parse the exposition format back into families.
+
+    Returns ``{family_name: {"type": kind, "help": str|None,
+    "samples": [(sample_name, labels_dict, value), ...]}}``.  Histogram
+    ``_bucket``/``_sum``/``_count`` samples belong to their family.
+    Raises on anything the renderer would never produce.
+    """
+    families: dict[str, dict] = {}
+    current: str | None = None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(
+                name, {"type": None, "help": None, "samples": []})
+            families[name]["help"] = help_text
+            current = name
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            families.setdefault(
+                name, {"type": None, "help": None, "samples": []})
+            families[name]["type"] = kind.strip()
+            current = name
+            continue
+        if line.startswith("#"):
+            continue
+        brace = line.find("{")
+        if brace != -1:
+            sample_name = line[:brace]
+            end = line.rindex("}")
+            labels = _parse_labels(line[brace + 1: end])
+            value_text = line[end + 1:].strip()
+        else:
+            sample_name, _, value_text = line.partition(" ")
+            labels = {}
+        value = float("inf") if value_text == "+Inf" \
+            else float(value_text)
+        family = current
+        if family is None or not sample_name.startswith(family):
+            family = sample_name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if sample_name.endswith(suffix):
+                    family = sample_name[: -len(suffix)]
+            families.setdefault(
+                family, {"type": None, "help": None, "samples": []})
+        families[family]["samples"].append((sample_name, labels, value))
+    return families
+
+
+# ------------------------------------------------------ latency reservoir
+class ReservoirQuantiles:
+    """O(1)-memory streaming quantile sketch (Vitter's algorithm R).
+
+    A fixed-size uniform sample over *everything ever observed* — the
+    table server's ``/stats`` p50/p99 read from one of these instead of
+    an unbounded latency list, so a long-lived server's memory stays
+    flat no matter how many requests it has answered.  Seeded, so a
+    replayed request sequence yields the same sample.
+    """
+
+    def __init__(self, size: int = 1024, seed: int = 0x5EED):
+        if size < 1:
+            raise ValueError(f"reservoir size must be positive, got {size}")
+        self.size = size
+        self.count = 0          # observations ever seen
+        self._values: list[float] = []
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            if len(self._values) < self.size:
+                self._values.append(float(value))
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.size:
+                    self._values[slot] = float(value)
+
+    def quantiles(self, *qs: float) -> list[float]:
+        """Linear-interpolated quantiles of the current sample
+        (``0.0`` when nothing was observed yet)."""
+        with self._lock:
+            values = sorted(self._values)
+        out = []
+        for q in qs:
+            if not values:
+                out.append(0.0)
+                continue
+            pos = max(0.0, min(1.0, q)) * (len(values) - 1)
+            lo = int(pos)
+            hi = min(lo + 1, len(values) - 1)
+            out.append(values[lo] + (values[hi] - values[lo])
+                       * (pos - lo))
+        return out
+
+    def quantile(self, q: float) -> float:
+        return self.quantiles(q)[0]
+
+
+# ------------------------------------------------------- default registry
+_default = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry every subsystem charges by default."""
+    return _default
+
+
+def counter(name: str, help: str = "",
+            labels: tuple[str, ...] = ()) -> Counter:
+    return _default.counter(name, help, labels)
+
+
+def gauge(name: str, help: str = "",
+          labels: tuple[str, ...] = ()) -> Gauge:
+    return _default.gauge(name, help, labels)
+
+
+def histogram(name: str, help: str = "", labels: tuple[str, ...] = (),
+              buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+    return _default.histogram(name, help, labels, buckets)
+
+
+def render_text() -> str:
+    """Exposition text of the default registry (the ``/metrics`` body)."""
+    return _default.render()

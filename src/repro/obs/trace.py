@@ -1,0 +1,203 @@
+"""Per-query tracing: timestamped spans through the execution stack.
+
+A :class:`Trace` is an explicit context object a caller threads through
+``execute(..., trace=...)`` — the scheduler records admit/park spans,
+each pool thread records its granule's load/filter/gather/aggregate
+spans, the driver records the merge.  Pay-as-you-go: an untraced query
+(the default) touches none of this code.
+
+**Propagation rule: the trace travels as a parameter, never a
+thread-local.**  The morsel scheduler interleaves granules of *many*
+queries on the same pool threads, so any thread-keyed ambient state
+would attribute spans to the wrong query.  ``run.execute`` closes over
+its trace in ``run_granule``; ``MorselScheduler.run_query(trace=...)``
+tags scheduling spans the same way.
+
+Spans use ``time.perf_counter()`` offsets from the trace's birth (the
+scheduler's clock), plus one wall-clock anchor (``epoch``) for log
+correlation.  Export as plain JSON (:meth:`to_json`) or as Chrome's
+``trace_event`` array (:meth:`to_chrome`) for chrome://tracing /
+https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Trace", "render_trace"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed operation: ``[start, end)`` in seconds since the
+    trace's birth, attributed to the OS thread that ran it."""
+
+    name: str
+    start: float
+    end: float
+    thread: int
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """Append-only span collection for one query.
+
+    Thread-safe: pool threads append concurrently.  ``query`` labels
+    exports; ``attrs`` carries trace-wide annotations (plan digest,
+    table path, ...).
+    """
+
+    def __init__(self, query: str = "query", **attrs):
+        self.query = query
+        self.attrs = dict(attrs)
+        self.epoch = time.time()           # wall-clock anchor
+        self.t0 = time.perf_counter()      # span clock zero
+        # raw (name, start, end, tid, attrs) tuples; Span objects
+        # materialize lazily on read.  list.append is atomic under the
+        # GIL, so the record path takes no lock — it runs once per
+        # granule inside the executor's hot loop and has to stay within
+        # the traced-query overhead budget.
+        self._spans: list[tuple] = []
+
+    # ------------------------------------------------------------ recording
+    def now(self) -> float:
+        """Seconds since the trace's birth (span-clock timestamp)."""
+        return time.perf_counter() - self.t0
+
+    def add(self, name: str, start: float, end: float, **attrs) -> None:
+        """Record a span from already-measured timestamps (used where
+        the code has timed the interval anyway, e.g. CPU buckets)."""
+        self._spans.append(
+            (name, start, end, threading.get_ident(), attrs))
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Time a block: ``with trace.span("load", column="x"): ...``.
+        Yields the mutable attrs dict so the block can annotate
+        outcomes (rows loaded, cache hit, ...)."""
+        start = self.now()
+        try:
+            yield attrs
+        finally:
+            self.add(name, start, self.now(), **attrs)
+
+    # ------------------------------------------------------------- reading
+    @property
+    def spans(self) -> list[Span]:
+        return [Span(*rec) for rec in list(self._spans)]
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def duration(self) -> float:
+        spans = self.spans
+        if not spans:
+            return 0.0
+        return max(s.end for s in spans) - min(s.start for s in spans)
+
+    def summary(self) -> str:
+        """One line for ``ExecResult.explain()``: span count, wall
+        span, and the busiest span names by total time."""
+        spans = self.spans
+        if not spans:
+            return "0 spans"
+        by_name: dict[str, float] = {}
+        for s in spans:
+            by_name[s.name] = by_name.get(s.name, 0.0) + s.duration
+        top = sorted(by_name.items(), key=lambda kv: -kv[1])[:3]
+        hot = ", ".join(f"{name} {total * 1e3:.2f}ms"
+                        for name, total in top)
+        return (f"{len(spans)} spans over {self.duration() * 1e3:.2f}ms "
+                f"({hot})")
+
+    # ------------------------------------------------------------- export
+    def to_json(self) -> dict:
+        """Plain-JSON export (timestamps in ms since trace birth)."""
+        return {
+            "query": self.query,
+            "epoch": self.epoch,
+            "attrs": dict(self.attrs),
+            "spans": [
+                {"name": s.name,
+                 "start_ms": s.start * 1e3,
+                 "end_ms": s.end * 1e3,
+                 "thread": s.thread,
+                 "attrs": dict(s.attrs)}
+                for s in sorted(self.spans, key=lambda s: s.start)
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Trace":
+        trace = cls(payload.get("query", "query"),
+                    **payload.get("attrs", {}))
+        trace.epoch = payload.get("epoch", trace.epoch)
+        for rec in payload.get("spans", ()):
+            trace._spans.append((
+                rec["name"], rec["start_ms"] / 1e3, rec["end_ms"] / 1e3,
+                rec.get("thread", 0), dict(rec.get("attrs", {}))))
+        return trace
+
+    def to_chrome(self) -> list[dict]:
+        """Chrome ``trace_event`` array: complete events (``ph: "X"``)
+        with microsecond timestamps, one ``tid`` per worker thread,
+        sorted by ``ts`` (catapult wants monotonic input)."""
+        tids: dict[int, int] = {}
+        events = []
+        for s in sorted(self.spans, key=lambda s: s.start):
+            tid = tids.setdefault(s.thread, len(tids))
+            events.append({
+                "name": s.name,
+                "ph": "X",
+                "ts": round(s.start * 1e6, 3),
+                "dur": round(max(s.duration, 0.0) * 1e6, 3),
+                "pid": 1,
+                "tid": tid,
+                "cat": "repro",
+                "args": dict(s.attrs),
+            })
+        return events
+
+
+def render_trace(payload: dict, width: int = 72) -> str:
+    """ASCII gantt of a :meth:`Trace.to_json` payload (the
+    ``python -m repro.obs render`` output)."""
+    trace = Trace.from_json(payload)
+    spans = sorted(trace.spans, key=lambda s: s.start)
+    lines = [f"trace: {trace.query} — {trace.summary()}"]
+    for key, value in sorted(trace.attrs.items()):
+        lines.append(f"  {key}: {value}")
+    if not spans:
+        return "\n".join(lines)
+    t_lo = min(s.start for s in spans)
+    t_hi = max(s.end for s in spans)
+    window = max(t_hi - t_lo, 1e-9)
+    tids: dict[int, int] = {}
+    name_w = min(max(len(s.name) for s in spans), 24)
+    for s in spans:
+        tid = tids.setdefault(s.thread, len(tids))
+        lo = int((s.start - t_lo) / window * width)
+        hi = max(int((s.end - t_lo) / window * width), lo + 1)
+        bar = " " * lo + "#" * (hi - lo)
+        attrs = " ".join(f"{k}={v}" for k, v in sorted(s.attrs.items()))
+        lines.append(
+            f"  t{tid} {s.name[:name_w]:<{name_w}} "
+            f"|{bar:<{width}}| {s.duration * 1e3:8.3f}ms"
+            + (f"  {attrs}" if attrs else ""))
+    lines.append(f"  {'':<{name_w + 5}} "
+                 f"0ms{'':<{width - 6}}{window * 1e3:.2f}ms")
+    return "\n".join(lines)
+
+
+def dump_chrome(trace: Trace) -> str:
+    """Chrome trace JSON text (what ``--out foo.chrome.json`` writes)."""
+    return json.dumps({"traceEvents": trace.to_chrome(),
+                       "displayTimeUnit": "ms"}, indent=1)

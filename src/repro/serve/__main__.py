@@ -46,6 +46,16 @@ def main(argv=None) -> int:
     parser.add_argument("--pool-per-query", action="store_true",
                         help="baseline mode: no shared scheduler "
                              "(benchmarks only)")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        help="also serve HTTP GET /metrics on this "
+                             "port (0 picks a free port)")
+    parser.add_argument("--slow-query-ms", type=float, default=None,
+                        help="trace every query and record ones "
+                             "slower than this to the slow-query log")
+    parser.add_argument("--slow-query-log", default=None,
+                        help="JSONL file for slow queries (plan + "
+                             "explain + trace; requires "
+                             "--slow-query-ms)")
     args = parser.parse_args(argv)
 
     server = TableServer(
@@ -54,9 +64,15 @@ def main(argv=None) -> int:
         queue_depth=args.queue_depth,
         cache_bytes=int(args.cache_mb * (1 << 20)),
         default_timeout_s=args.timeout_s,
-        shared=not args.pool_per_query)
+        shared=not args.pool_per_query,
+        metrics_port=args.metrics_port,
+        slow_query_ms=args.slow_query_ms,
+        slow_query_log=args.slow_query_log)
     host, port = server.address
     print(f"listening on {host}:{port}", flush=True)
+    if server.metrics_address is not None:
+        mhost, mport = server.metrics_address
+        print(f"metrics on http://{mhost}:{mport}/metrics", flush=True)
     print(f"tables: {', '.join(server.table_names()) or '(none)'}",
           flush=True)
 

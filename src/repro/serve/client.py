@@ -65,6 +65,11 @@ class ServeClient:
     def stats(self) -> dict:
         return self._call({"op": "stats"})
 
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition (the same body the
+        HTTP ``/metrics`` endpoint serves when enabled)."""
+        return self._call({"op": "metrics"})
+
     def query(self, table: str, plan, timeout_s: float | None = None,
               limit: int | None = None, **opts) -> dict:
         """Execute ``plan`` (a :class:`~repro.exec.plan.Plan` or an

@@ -25,17 +25,19 @@ ones are refused, then sockets close.
 
 from __future__ import annotations
 
+import http.server
+import json
 import os
 import socket
 import threading
 import time
-from collections import deque
-
-import numpy as np
 
 from repro.exec import Plan
-from repro.exec.errors import ServerBusy
+from repro.exec.errors import ExecTimeout, ServerBusy
 from repro.exec.pool import MorselScheduler
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import ReservoirQuantiles
+from repro.obs.trace import Trace
 from repro.serve import wire
 from repro.store.cache import DEFAULT_CAPACITY_BYTES, ChunkCache
 from repro.store.executor import StoreSource
@@ -47,14 +49,38 @@ ALLOWED_OPTS = ("prune", "pushdown", "on_corruption", "io_retries")
 #: per-request deadline when the client does not send one
 DEFAULT_TIMEOUT_S = 30.0
 
-#: recent request latencies kept for the /stats percentiles
+#: latency reservoir size for the /stats percentiles (O(1) memory —
+#: a uniform sample over the server's whole lifetime, never a growing
+#: list)
 LATENCY_WINDOW = 4096
 
+_M_REQUESTS = obs_metrics.counter(
+    "repro_serve_requests_total", "wire requests by op and status",
+    labels=("op", "status"))
+_M_REQUEST_SECONDS = obs_metrics.histogram(
+    "repro_serve_request_seconds", "wire request handling time")
+_M_SLOW_QUERIES = obs_metrics.counter(
+    "repro_serve_slow_queries_total",
+    "queries recorded to the slow-query log")
 
-def _percentile(values: list[float], q: float) -> float:
-    if not values:
-        return 0.0
-    return float(np.percentile(np.asarray(values), q))
+
+class _MetricsHandler(http.server.BaseHTTPRequestHandler):
+    """GET /metrics → the process-wide registry's text exposition."""
+
+    def do_GET(self):  # noqa: N802 (BaseHTTPRequestHandler API)
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "try /metrics")
+            return
+        body = obs_metrics.render_text().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:
+        pass  # scrapes are not server events worth a log line
 
 
 class TableServer:
@@ -71,10 +97,19 @@ class TableServer:
                  max_inflight: int = 8, queue_depth: int = 16,
                  cache_bytes: int = DEFAULT_CAPACITY_BYTES,
                  default_timeout_s: float = DEFAULT_TIMEOUT_S,
-                 shared: bool = True):
+                 shared: bool = True,
+                 metrics_port: int | None = None,
+                 slow_query_ms: float | None = None,
+                 slow_query_log: str | None = None):
         self.root = root
         self.default_timeout_s = default_timeout_s
         self.shared = shared
+        # slow-query log: when a threshold is set, every query runs
+        # traced (that is the opt-in cost) and offenders are appended
+        # as JSONL — plan, explain, and the full trace
+        self.slow_query_ms = slow_query_ms
+        self.slow_query_log = slow_query_log
+        self._slow_lock = threading.Lock()
         self.scheduler = MorselScheduler(
             workers=workers, policy=policy, max_inflight=max_inflight,
             queue_depth=queue_depth, name="repro-serve") if shared \
@@ -84,7 +119,7 @@ class TableServer:
         self._tables: dict[str, tuple[Table, StoreSource]] = {}
         self._tables_lock = threading.Lock()
         self._stats_lock = threading.Lock()
-        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._latencies = ReservoirQuantiles(LATENCY_WINDOW)
         self.queries_total = 0
         self.queries_ok = 0
         self.queries_err = 0
@@ -98,6 +133,20 @@ class TableServer:
         self._sock.bind((host, port))
         self._sock.listen(128)
         self.address: tuple[str, int] = self._sock.getsockname()
+        # optional HTTP GET /metrics endpoint (plain-text exposition of
+        # the process-wide registry; scrapers never touch the wire
+        # protocol).  Bound here so metrics_address is known immediately.
+        self._metrics_httpd: http.server.ThreadingHTTPServer | None = None
+        self.metrics_address: tuple[str, int] | None = None
+        if metrics_port is not None:
+            self._metrics_httpd = http.server.ThreadingHTTPServer(
+                (host, metrics_port), _MetricsHandler)
+            self._metrics_httpd.daemon_threads = True
+            self.metrics_address = \
+                self._metrics_httpd.server_address[:2]
+            threading.Thread(
+                target=self._metrics_httpd.serve_forever, daemon=True,
+                name="repro-serve-metrics").start()
 
     # ------------------------------------------------------------- tables
     def table_names(self) -> list[str]:
@@ -151,10 +200,13 @@ class TableServer:
             return {"ok": True, "result": "pong"}
         if op == "stats":
             return {"ok": True, "result": self.stats()}
+        if op == "metrics":
+            return {"ok": True, "result": obs_metrics.render_text()}
         if op == "list_tables":
             return {"ok": True, "result": self.table_names()}
         # query / explain share the execution path
-        _, source = self._resolve(req.get("table"))
+        table_name = req.get("table")
+        _, source = self._resolve(table_name)
         plan = Plan.from_json(req.get("plan"))
         opts = req.get("opts") or {}
         unknown = [k for k in opts if k not in ALLOWED_OPTS]
@@ -166,49 +218,98 @@ class TableServer:
         if timeout_s is None:
             timeout_s = self.default_timeout_s
         limit = req.get("limit")
-        if self.shared:
-            res = plan.execute(source, scheduler=self.scheduler,
-                               timeout_s=timeout_s, **opts)
-        else:
-            res = plan.execute(source, threads=self._baseline_threads
-                               or None, timeout_s=timeout_s, **opts)
+        trace = Trace(op, table=table_name) \
+            if self.slow_query_ms is not None else None
+        t_query = time.perf_counter()
+        try:
+            if self.shared:
+                res = plan.execute(source, scheduler=self.scheduler,
+                                   timeout_s=timeout_s, trace=trace,
+                                   **opts)
+            else:
+                res = plan.execute(source, threads=self._baseline_threads
+                                   or None, timeout_s=timeout_s,
+                                   trace=trace, **opts)
+        except ExecTimeout:
+            # a timed-out query is by definition slow: log it with
+            # whatever spans it managed to record
+            self._maybe_log_slow(op, table_name, plan, trace,
+                                 time.perf_counter() - t_query,
+                                 explain=None, timed_out=True)
+            raise
+        self._maybe_log_slow(op, table_name, plan, trace,
+                             time.perf_counter() - t_query,
+                             explain=res.explain(), timed_out=False)
         return {"ok": True, "result": wire.encode_result(
             res, limit=limit, include_rows=(op == "query"))}
 
+    def _maybe_log_slow(self, op: str, table: str, plan: Plan, trace,
+                        elapsed_s: float, explain: str | None,
+                        timed_out: bool) -> None:
+        if self.slow_query_ms is None or \
+                elapsed_s * 1e3 < self.slow_query_ms:
+            return
+        _M_SLOW_QUERIES.inc()
+        if self.slow_query_log is None:
+            return
+        record = {
+            "ts": time.time(),
+            "op": op,
+            "table": table,
+            "elapsed_ms": elapsed_s * 1e3,
+            "timed_out": timed_out,
+            "plan": plan.to_json(),
+            "explain": explain,
+            "trace": trace.to_json() if trace is not None else None,
+        }
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._slow_lock:
+            with open(self.slow_query_log, "a", encoding="utf-8") as fh:
+                fh.write(line)
+
     def _serve_one(self, req: dict) -> dict:
         start = time.perf_counter()
+        op = req.get("op")
+        op_label = op if op in wire.OPS else "invalid"
         try:
             response = self._handle_request(req)
         except ServerBusy as err:
             with self._stats_lock:
                 self.queries_total += 1
                 self.rejected_busy += 1
+            self._charge_request(op_label, "busy", start)
             return wire.error_response(err)
         except Exception as err:  # typed, one line, server stays up
             with self._stats_lock:
                 self.queries_total += 1
                 self.queries_err += 1
+            self._charge_request(op_label, "error", start)
             return wire.error_response(err)
         elapsed = time.perf_counter() - start
         with self._stats_lock:
             self.queries_total += 1
-            if req.get("op") in ("query", "explain"):
+            if op in ("query", "explain"):
                 self.queries_ok += 1
-                self._latencies.append(elapsed)
+                self._latencies.observe(elapsed)
+        self._charge_request(op_label, "ok", start)
         return response
+
+    def _charge_request(self, op: str, status: str, start: float) -> None:
+        _M_REQUESTS.labels(op=op, status=status).inc()
+        _M_REQUEST_SECONDS.observe(time.perf_counter() - start)
 
     # -------------------------------------------------------------- stats
     def stats(self) -> dict:
         """The ``/stats`` report: load, latency, cache, scheduler."""
         uptime = time.perf_counter() - self._started
         with self._stats_lock:
-            window = list(self._latencies)
             totals = {
                 "queries_total": self.queries_total,
                 "queries_ok": self.queries_ok,
                 "queries_err": self.queries_err,
                 "rejected_busy": self.rejected_busy,
             }
+        p50, p90, p99 = self._latencies.quantiles(0.50, 0.90, 0.99)
         sched = self.scheduler.stats() if self.scheduler is not None \
             else {"mode": "pool-per-query",
                   "threads": self._baseline_threads}
@@ -221,10 +322,13 @@ class TableServer:
             "inflight": sched.get("inflight", 0),
             "queue_depth": sched.get("parked", 0),
             "latency_ms": {
-                "p50": _percentile(window, 50) * 1e3,
-                "p90": _percentile(window, 90) * 1e3,
-                "p99": _percentile(window, 99) * 1e3,
-                "window": len(window),
+                "p50": p50 * 1e3,
+                "p90": p90 * 1e3,
+                "p99": p99 * 1e3,
+                # reservoir sample size + lifetime observation count —
+                # O(1) memory no matter how long the server runs
+                "window": len(self._latencies),
+                "observed": self._latencies.count,
             },
             "cache": self.cache.stats(),
             "scheduler": sched,
@@ -297,6 +401,10 @@ class TableServer:
         """Graceful drain: finish in-flight requests, refuse new ones,
         then close every socket and the scheduler."""
         self._draining.set()
+        if self._metrics_httpd is not None:
+            self._metrics_httpd.shutdown()
+            self._metrics_httpd.server_close()
+            self._metrics_httpd = None
         try:
             self._sock.close()
         except OSError:

@@ -6,7 +6,8 @@ long-lived connection (a client may pipeline request after request).
 
 Request shape::
 
-    {"v": 1, "op": "query" | "explain" | "stats" | "list_tables",
+    {"v": 1, "op": "query" | "explain" | "stats" | "list_tables"
+             | "ping" | "metrics",
      "table": "name",            # query / explain
      "plan": {...},              # Plan.to_json() payload
      "timeout_s": 5.0,           # optional per-request deadline
@@ -39,7 +40,7 @@ WIRE_VERSION = 1
 MAX_FRAME_BYTES = 64 << 20
 
 #: request operations the server understands
-OPS = ("query", "explain", "stats", "list_tables", "ping")
+OPS = ("query", "explain", "stats", "list_tables", "ping", "metrics")
 
 _LEN = struct.Struct(">I")
 

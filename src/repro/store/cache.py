@@ -24,8 +24,25 @@ import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
+from repro.obs import metrics as obs_metrics
+
 #: default cache budget: 64 MiB of stored chunk bytes
 DEFAULT_CAPACITY_BYTES = 64 << 20
+
+# process-wide cache metrics: every ChunkCache instance charges the same
+# series (an operator wants total cache pressure, not per-instance); the
+# gauges track the most recently mutated instance
+_M_LOOKUPS = obs_metrics.counter(
+    "repro_cache_lookups_total", "chunk cache lookups by outcome",
+    labels=("outcome",))
+_M_HIT = _M_LOOKUPS.labels(outcome="hit")
+_M_MISS = _M_LOOKUPS.labels(outcome="miss")
+_M_EVICTIONS = obs_metrics.counter(
+    "repro_cache_evictions_total", "chunk cache entries evicted")
+_M_USED = obs_metrics.gauge(
+    "repro_cache_used_bytes", "stored chunk bytes held by the cache")
+_M_ENTRIES = obs_metrics.gauge(
+    "repro_cache_entries", "entries held by the cache")
 
 
 class ChunkCache:
@@ -80,8 +97,10 @@ class ChunkCache:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                _M_HIT.inc()
                 return entry[0], True, 0
             self.misses += 1
+            _M_MISS.inc()
         value = loader()
         evicted = 0
         with self._lock:
@@ -89,6 +108,10 @@ class ChunkCache:
                 self._entries[key] = (value, nbytes)
                 self._used_bytes += nbytes
                 evicted = self._evict_locked()
+                _M_USED.set(self._used_bytes)
+                _M_ENTRIES.set(len(self._entries))
+        if evicted:
+            _M_EVICTIONS.inc(evicted)
         return value, False, evicted
 
     def _evict_locked(self) -> int:
@@ -104,3 +127,5 @@ class ChunkCache:
         with self._lock:
             self._entries.clear()
             self._used_bytes = 0
+            _M_USED.set(0)
+            _M_ENTRIES.set(0)

@@ -175,7 +175,13 @@ def _cmd_scrub(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.json:
-        print(json.dumps(asdict(report), indent=2, default=str))
+        payload = asdict(report)
+        # asdict only walks dataclass fields; surface the derived
+        # totals CI log-diffs watch for regressions
+        payload["ok"] = report.ok
+        payload["bytes_walked"] = report.bytes_walked
+        payload["elapsed_s"] = report.elapsed_s
+        print(json.dumps(payload, indent=2, default=str))
     else:
         print(report.summary())
     return 0 if report.ok else 1

@@ -24,6 +24,7 @@ the (absent) envelope crc.
 from __future__ import annotations
 
 import os
+import time
 import zlib
 from dataclasses import dataclass, field
 
@@ -43,6 +44,8 @@ class ShardReport:
     chunks_checked: int = 0
     chunks_crc_verified: int = 0   # chunks that carried a v2 crc
     dv_checked: bool = False
+    bytes_walked: int = 0          # shard + sidecar bytes read
+    elapsed_s: float = 0.0         # wall time scrubbing this shard
     errors: list[str] = field(default_factory=list)
 
     @property
@@ -65,6 +68,14 @@ class ScrubReport:
         return not self.manifest_errors and all(s.ok for s in self.shards)
 
     @property
+    def bytes_walked(self) -> int:
+        return sum(s.bytes_walked for s in self.shards)
+
+    @property
+    def elapsed_s(self) -> float:
+        return sum(s.elapsed_s for s in self.shards)
+
+    @property
     def errors(self) -> list[str]:
         out = list(self.manifest_errors)
         for shard in self.shards:
@@ -80,10 +91,14 @@ class ScrubReport:
             dv = ", dv ok" if shard.dv_checked and shard.ok else ""
             lines.append(
                 f"  {shard.file}: {shard.chunks_checked} chunks "
-                f"({shard.chunks_crc_verified} crc-verified{dv}) "
-                f"... {status}")
+                f"({shard.chunks_crc_verified} crc-verified{dv}), "
+                f"{shard.bytes_walked} bytes in "
+                f"{shard.elapsed_s * 1e3:.1f} ms ... {status}")
             lines.extend(f"    - {err}" for err in shard.errors)
         lines.extend(f"  manifest: {err}" for err in self.manifest_errors)
+        lines.append(
+            f"walked: {self.bytes_walked} bytes in "
+            f"{self.elapsed_s * 1e3:.1f} ms")
         lines.append("result: " + ("CLEAN" if self.ok else
                                    f"{len(self.errors)} error(s)"))
         return "\n".join(lines)
@@ -119,6 +134,15 @@ def _scrub_chunk(blob: bytes, meta, report: ShardReport) -> None:
 
 def _scrub_shard(directory: str, entry: dict) -> ShardReport:
     report = ShardReport(file=entry["file"])
+    t_start = time.perf_counter()
+    try:
+        return _scrub_shard_inner(directory, entry, report)
+    finally:
+        report.elapsed_s = time.perf_counter() - t_start
+
+
+def _scrub_shard_inner(directory: str, entry: dict,
+                       report: ShardReport) -> ShardReport:
     path = os.path.join(directory, entry["file"])
     try:
         with open(path, "rb") as fh:
@@ -126,6 +150,7 @@ def _scrub_shard(directory: str, entry: dict) -> ShardReport:
     except OSError as exc:
         report.errors.append(f"unreadable: {exc}")
         return report
+    report.bytes_walked += len(blob)
     try:
         footer = unpack_footer(blob)
     except ValueError as exc:
@@ -150,7 +175,9 @@ def _scrub_shard(directory: str, entry: dict) -> ShardReport:
         dv_path = os.path.join(directory, entry["dv"])
         try:
             with open(dv_path, "rb") as fh:
-                deleted = unpack_deletion_vector(fh.read())
+                dv_blob = fh.read()
+            report.bytes_walked += len(dv_blob)
+            deleted = unpack_deletion_vector(dv_blob)
         except (OSError, ValueError) as exc:
             report.errors.append(f"deletion vector {entry['dv']!r}: {exc}")
         else:

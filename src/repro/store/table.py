@@ -17,12 +17,14 @@ from __future__ import annotations
 
 import mmap
 import os
+import time
 import zlib
 
 import numpy as np
 
 from repro import codecs, faults
 from repro.exec.errors import CorruptChunkError
+from repro.obs import metrics as obs_metrics
 from repro.store.cache import DEFAULT_CAPACITY_BYTES, ChunkCache
 from repro.store.executor import ScanResult, run_scan
 from repro.store.format import (
@@ -34,6 +36,11 @@ from repro.store.format import (
     unpack_deletion_vector,
     unpack_footer,
 )
+
+_M_TABLES_OPENED = obs_metrics.counter(
+    "repro_store_tables_opened_total", "table snapshots opened")
+_M_SHARDS_OPENED = obs_metrics.counter(
+    "repro_store_shards_opened_total", "shard files opened (mmap)")
 
 
 class Shard:
@@ -86,7 +93,10 @@ class Table:
         try:
             row_start = 0
             for entry in self.manifest.shards:
+                t_open = time.perf_counter()
                 shard = Shard(os.path.join(path, entry["file"]))
+                shard.open_s = time.perf_counter() - t_open
+                _M_SHARDS_OPENED.inc()
                 self.shards.append(shard)
                 if shard.footer.n_rows != entry["n_rows"] or \
                         entry["row_start"] != row_start:
@@ -118,6 +128,7 @@ class Table:
         self.cache: ChunkCache | None = cache if cache is not None else (
             ChunkCache(cache_bytes) if cache_bytes else None)
         self._live_mask: np.ndarray | None = None
+        _M_TABLES_OPENED.inc()
 
     @classmethod
     def open(cls, path: str, cache_bytes: int = DEFAULT_CAPACITY_BYTES,
@@ -210,6 +221,18 @@ class Table:
             "requested_codecs": dict(self.manifest.codecs),
             "chunk_codec_mix": codec_mix,
             "stored_bytes": self.stored_bytes(),
+            # per-shard open cost — CI logs diff these, so a shard that
+            # got slow or fat between runs is visible at a glance
+            "shards": [
+                {"file": os.path.basename(shard.path),
+                 "n_rows": shard.footer.n_rows,
+                 "stored_bytes": sum(c.nbytes
+                                     for c in shard.footer.chunks),
+                 "deleted_rows": int(shard.deleted.sum())
+                 if shard.deleted is not None else 0,
+                 "open_ms": round(
+                     getattr(shard, "open_s", 0.0) * 1e3, 3)}
+                for shard in self.shards],
         }
 
     # ------------------------------------------------------------- access

@@ -1,0 +1,535 @@
+"""Tests for ``repro.obs`` (PR 8): metrics, tracing, and surfaces.
+
+Five suites:
+
+* **metrics conformance** — counters/gauges/histograms (labelled and
+  not) round-trip through the Prometheus text exposition, every
+  instrument registered anywhere in ``repro`` renders and parses back,
+  and concurrent increments from N threads lose no counts;
+* the **latency reservoir** — exact quantiles below capacity, bounded
+  memory above it, deterministic under a seed;
+* **tracing** — a traced 2-granule store query yields spans whose
+  granule count, prune counts, and cache attribution exactly match
+  ``ExecStats``; Chrome export is valid JSON with monotonic timestamps;
+  tracing stays pay-as-you-go (untraced queries carry no trace);
+* **serve surfaces** — the ``metrics`` wire op and HTTP ``/metrics``
+  endpoint expose populated series, ``/stats`` percentiles read from
+  the O(1) reservoir, and the slow-query log captures plan + explain +
+  trace as JSONL;
+* **scrub/info accounting** — per-shard elapsed time and bytes walked
+  in ``scrub --json``, ``info``, and the render CLI.
+"""
+
+import json
+import os
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.exec import ExecTimeout, MorselScheduler, Plan, Range
+from repro.obs import __main__ as obs_main
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (
+    MetricsRegistry,
+    ReservoirQuantiles,
+    parse_text,
+    set_enabled,
+)
+from repro.obs.trace import Trace, render_trace
+from repro.serve import ServeClient, TableServer
+from repro.store import StoreSource, Table, TableWriter
+from repro.store import cli as store_cli
+from repro.store.scrub import scrub_table
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def make_table(path: str, n: int = 1024, chunk_rows: int = 512,
+               shard_rows: int = 1024) -> None:
+    """A store table whose ``val`` column equals the row index."""
+    with TableWriter(path, codec="auto", shard_rows=shard_rows,
+                     chunk_rows=chunk_rows) as writer:
+        writer.append({"val": np.arange(n, dtype=np.int64),
+                       "grp": np.arange(n, dtype=np.int64) % 7})
+
+
+# ===================================================================
+# metrics conformance
+# ===================================================================
+class TestMetricsConformance:
+    def test_counter_roundtrip(self, registry):
+        c = registry.counter("t_requests_total", "requests",
+                             labels=("op",))
+        c.labels(op="query").inc(3)
+        c.labels(op="ping").inc()
+        fams = parse_text(registry.render())
+        fam = fams["t_requests_total"]
+        assert fam["type"] == "counter"
+        assert fam["help"] == "requests"
+        by_label = {s[1]["op"]: s[2] for s in fam["samples"]}
+        assert by_label == {"query": 3.0, "ping": 1.0}
+
+    def test_gauge_roundtrip(self, registry):
+        g = registry.gauge("t_inflight", "in flight")
+        g.set(5)
+        g.dec(2)
+        fams = parse_text(registry.render())
+        assert fams["t_inflight"]["type"] == "gauge"
+        assert fams["t_inflight"]["samples"] == [("t_inflight", {}, 3.0)]
+
+    def test_histogram_roundtrip_cumulative(self, registry):
+        h = registry.histogram("t_seconds", "latency",
+                               buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        fams = parse_text(registry.render())
+        fam = fams["t_seconds"]
+        assert fam["type"] == "histogram"
+        buckets = {s[1]["le"]: s[2] for s in fam["samples"]
+                   if s[0] == "t_seconds_bucket"}
+        # cumulative: 1 under 0.1, 3 under 1.0, all 4 under +Inf
+        assert buckets == {"0.1": 1.0, "1": 3.0, "+Inf": 4.0}
+        assert [s[2] for s in fam["samples"]
+                if s[0] == "t_seconds_count"] == [4.0]
+        [total] = [s[2] for s in fam["samples"]
+                   if s[0] == "t_seconds_sum"]
+        assert total == pytest.approx(6.05)
+
+    def test_label_escaping_roundtrip(self, registry):
+        c = registry.counter("t_weird_total", "x", labels=("path",))
+        value = 'a"b\\c\nd'
+        c.labels(path=value).inc()
+        fams = parse_text(registry.render())
+        [(_, labels, v)] = fams["t_weird_total"]["samples"]
+        assert labels == {"path": value} and v == 1.0
+
+    def test_get_or_create_and_conflicts(self, registry):
+        c1 = registry.counter("t_total", "x")
+        assert registry.counter("t_total") is c1
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("t_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("t_total", labels=("op",))
+        with pytest.raises(ValueError, match="bad metric name"):
+            registry.counter("0bad")
+        with pytest.raises(ValueError, match="only go up"):
+            c1.inc(-1)
+        with pytest.raises(ValueError, match="labels"):
+            registry.counter("t_lbl_total", labels=("a",)).labels(b="x")
+
+    def test_every_repro_metric_roundtrips(self):
+        # importing the instrumented stack registers every series the
+        # process exposes; each must render and parse back faithfully
+        import repro.exec.pool  # noqa: F401
+        import repro.exec.run  # noqa: F401
+        import repro.mutate.compact  # noqa: F401
+        import repro.mutate.manifest  # noqa: F401
+        import repro.mutate.table  # noqa: F401
+        import repro.mutate.wal  # noqa: F401
+        import repro.serve.server  # noqa: F401
+        import repro.store.cache  # noqa: F401
+        import repro.store.table  # noqa: F401
+
+        reg = obs_metrics.default_registry()
+        instruments = reg.instruments()
+        assert len(instruments) >= 20
+        names = {i.name for i in instruments}
+        for expected in ("repro_sched_queries_total",
+                         "repro_sched_park_wait_seconds",
+                         "repro_cache_lookups_total",
+                         "repro_exec_queries_total",
+                         "repro_exec_cpu_seconds_total",
+                         "repro_store_shards_opened_total",
+                         "repro_wal_appends_total",
+                         "repro_wal_fsync_seconds",
+                         "repro_mutate_flush_seconds",
+                         "repro_mutate_generations_total",
+                         "repro_mutate_compact_passes_total",
+                         "repro_serve_requests_total"):
+            assert expected in names
+        fams = parse_text(reg.render())
+        for inst in instruments:
+            assert fams[inst.name]["type"] == inst.kind, inst.name
+            if inst.kind == "histogram":
+                sample_names = {s[0] for s in fams[inst.name]["samples"]}
+                if sample_names:  # labelled histograms may have no child
+                    assert f"{inst.name}_count" in sample_names
+                    assert f"{inst.name}_bucket" in sample_names
+            for _, labels, _ in fams[inst.name]["samples"]:
+                got = set(labels) - {"le"}
+                assert got == set(inst.labelnames), inst.name
+
+    def test_concurrent_increments_lose_no_counts(self, registry):
+        c = registry.counter("t_conc_total", "x")
+        lc = registry.counter("t_conc_lbl_total", "x", labels=("who",))
+        h = registry.histogram("t_conc_seconds", "x", buckets=(0.5,))
+        n_threads, per_thread = 8, 5_000
+
+        def hammer(i: int) -> None:
+            child = lc.labels(who=str(i % 2))
+            for _ in range(per_thread):
+                c.inc()
+                child.inc()
+                h.observe(0.25)
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = n_threads * per_thread
+        assert c.value == total
+        assert sum(child.value
+                   for child in lc.children().values()) == total
+        _, hist_sum, count = h._default_child().snapshot()
+        assert count == total
+        assert hist_sum == pytest.approx(0.25 * total)
+
+    def test_set_enabled_kill_switch(self, registry):
+        c = registry.counter("t_off_total", "x")
+        c.inc()
+        set_enabled(False)
+        try:
+            c.inc(100)
+            registry.gauge("t_off_gauge").set(9)
+            registry.histogram("t_off_seconds").observe(1.0)
+        finally:
+            set_enabled(True)
+        assert c.value == 1
+        assert registry.gauge("t_off_gauge").value == 0
+        c.inc()
+        assert c.value == 2
+
+
+class TestReservoir:
+    def test_exact_below_capacity(self):
+        r = ReservoirQuantiles(size=100)
+        for v in range(1, 101):
+            r.observe(float(v))
+        assert r.count == 100 and len(r) == 100
+        assert r.quantile(0.0) == 1.0
+        assert r.quantile(1.0) == 100.0
+        assert r.quantile(0.5) == pytest.approx(50.5)
+
+    def test_bounded_memory_and_plausible_sample(self):
+        r = ReservoirQuantiles(size=256, seed=7)
+        for v in range(100_000):
+            r.observe(float(v))
+        assert len(r) == 256 and r.count == 100_000
+        # a uniform sample of 0..1e5: the median lands mid-range
+        assert 30_000 < r.quantile(0.5) < 70_000
+
+    def test_deterministic_under_seed(self):
+        a, b = (ReservoirQuantiles(size=64, seed=3) for _ in range(2))
+        for v in range(10_000):
+            a.observe(float(v))
+            b.observe(float(v))
+        assert a.quantiles(0.5, 0.9, 0.99) == b.quantiles(0.5, 0.9, 0.99)
+
+    def test_empty(self):
+        r = ReservoirQuantiles(size=8)
+        assert r.quantiles(0.5, 0.99) == [0.0, 0.0]
+        with pytest.raises(ValueError):
+            ReservoirQuantiles(size=0)
+
+
+# ===================================================================
+# tracing
+# ===================================================================
+class TestTracing:
+    def test_traced_two_granule_query_matches_stats(self, tmp_path):
+        path = str(tmp_path / "t")
+        make_table(path)  # 1024 rows = exactly 2 granules of 512
+        with Table.open(path) as table:
+            source = StoreSource(table)
+            # warm the cache so the traced run shows real hits
+            Plan.scan(("val",)).where(
+                Range("val", 0, 1024)).execute(source, threads=1)
+            trace = Trace("q", table=path)
+            res = Plan.scan(("val",)).where(
+                Range("val", 0, 100)).execute(source, threads=1,
+                                              trace=trace)
+        stats = res.stats
+        assert stats.granules_total == 2
+        assert stats.granules_pruned == 1  # zone maps drop rows 512+
+        granule_spans = [s for s in trace.spans if s.name == "granule"]
+        assert len(granule_spans) == stats.granules_total
+        assert sum(s.attrs["pruned"] for s in granule_spans) \
+            == stats.granules_pruned
+        assert sum(s.attrs["cache_hits"] for s in granule_spans) \
+            == stats.cache_hits
+        assert sum(s.attrs["cache_misses"] for s in granule_spans) \
+            == stats.cache_misses
+        assert sum(s.attrs["rows"] for s in granule_spans) \
+            == stats.rows_scanned
+        names = {s.name for s in trace.spans}
+        assert {"granule", "filter", "gather", "load", "merge"} <= names
+        assert res.trace is trace
+        assert "trace:" in res.explain().splitlines()[-1]
+
+    def test_untraced_query_pays_nothing(self, tmp_path):
+        path = str(tmp_path / "t")
+        make_table(path)
+        with Table.open(path) as table:
+            res = Plan.scan(("val",)).execute(StoreSource(table),
+                                              threads=1)
+        assert res.trace is None
+        assert "trace:" not in res.explain()
+
+    def test_scheduler_spans(self, tmp_path):
+        path = str(tmp_path / "t")
+        make_table(path)
+        trace = Trace("q")
+        with MorselScheduler(workers=2, name="t-obs") as sched, \
+                Table.open(path) as table:
+            Plan.scan(("val",)).execute(StoreSource(table),
+                                        scheduler=sched, trace=trace)
+        names = [s.name for s in trace.spans]
+        assert "admit" in names and "granule" in names
+
+    def test_chrome_export_valid_and_monotonic(self, tmp_path):
+        path = str(tmp_path / "t")
+        make_table(path)
+        trace = Trace("q")
+        with Table.open(path) as table:
+            Plan.scan(("val",)).where(Range("val", 0, 600)).execute(
+                StoreSource(table), trace=trace)
+        events = json.loads(json.dumps(trace.to_chrome()))
+        assert len(events) == len(trace.spans) > 0
+        timestamps = [e["ts"] for e in events]
+        assert timestamps == sorted(timestamps)
+        for e in events:
+            assert e["ph"] == "X" and e["dur"] >= 0 and e["pid"] == 1
+            assert isinstance(e["tid"], int)
+
+    def test_json_roundtrip_and_summary(self):
+        trace = Trace("demo", table="x")
+        with trace.span("load", column="val") as attrs:
+            attrs["rows"] = 7
+        trace.add("merge", 0.5, 0.6)
+        revived = Trace.from_json(json.loads(
+            json.dumps(trace.to_json())))
+        assert revived.query == "demo"
+        assert [s.name for s in revived.spans] == ["load", "merge"]
+        assert revived.spans[0].attrs == {"column": "val", "rows": 7}
+        assert "2 spans" in trace.summary()
+
+    def test_concurrent_traces_stay_separate(self, tmp_path):
+        # two queries traced through ONE shared scheduler: each trace
+        # must hold exactly its own query's granules (the reason the
+        # context travels as a parameter, not a thread-local)
+        path_a, path_b = str(tmp_path / "a"), str(tmp_path / "b")
+        make_table(path_a, n=2048, chunk_rows=256, shard_rows=2048)
+        make_table(path_b, n=1024, chunk_rows=256, shard_rows=1024)
+        with MorselScheduler(workers=4, name="t-obs2") as sched, \
+                Table.open(path_a) as ta, Table.open(path_b) as tb:
+            traces = [Trace("a"), Trace("b")]
+            results = [None, None]
+
+            def run(i, table):
+                results[i] = Plan.scan(("val",)).execute(
+                    StoreSource(table), scheduler=sched,
+                    trace=traces[i])
+
+            threads = [threading.Thread(target=run, args=(0, ta)),
+                       threading.Thread(target=run, args=(1, tb))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        for i in range(2):
+            granules = [s for s in traces[i].spans
+                        if s.name == "granule"]
+            assert len(granules) == results[i].stats.granules_total
+            assert {s.attrs["granule"] for s in granules} \
+                == set(range(len(granules)))
+
+
+# ===================================================================
+# serve surfaces
+# ===================================================================
+@pytest.fixture
+def served(tmp_path):
+    root = str(tmp_path / "root")
+    os.makedirs(root)
+    make_table(os.path.join(root, "events"))
+    return root
+
+
+class TestServeSurfaces:
+    def test_metrics_wire_op(self, served):
+        with TableServer(served, max_inflight=4) as server:
+            host, port = server.address
+            with ServeClient(host, port) as client:
+                client.query("events",
+                             Plan.scan(("val",)).where(
+                                 Range("val", 0, 50)))
+                text = client.metrics()
+        fams = parse_text(text)
+        assert fams["repro_serve_requests_total"]["type"] == "counter"
+        served_ok = [
+            v for name, labels, v
+            in fams["repro_serve_requests_total"]["samples"]
+            if labels.get("op") == "query" and labels.get("status") == "ok"]
+        assert served_ok and served_ok[0] >= 1
+        # executor + scheduler + cache series all populated
+        assert any(v > 0 for _, labels, v
+                   in fams["repro_exec_queries_total"]["samples"]
+                   if labels.get("status") == "ok")
+        assert any(labels.get("sched") == "repro-serve" and v > 0
+                   for _, labels, v
+                   in fams["repro_sched_granules_total"]["samples"])
+        assert any(v > 0 for _, _, v
+                   in fams["repro_cache_lookups_total"]["samples"])
+
+    def test_http_metrics_endpoint(self, served):
+        with TableServer(served, metrics_port=0) as server:
+            host, port = server.address
+            with ServeClient(host, port) as client:
+                client.query("events", Plan.scan(("val",)))
+            mhost, mport = server.metrics_address
+            with urllib.request.urlopen(
+                    f"http://{mhost}:{mport}/metrics") as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"].startswith(
+                    "text/plain")
+                body = resp.read().decode("utf-8")
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(
+                    f"http://{mhost}:{mport}/nope")
+        fams = parse_text(body)
+        assert "repro_serve_requests_total" in fams
+        assert "repro_exec_queries_total" in fams
+
+    def test_stats_reservoir_latency(self, served):
+        with TableServer(served) as server:
+            host, port = server.address
+            with ServeClient(host, port) as client:
+                for _ in range(5):
+                    client.query("events", Plan.scan(("val",)).where(
+                        Range("val", 0, 10)))
+                stats = client.stats()
+        latency = stats["latency_ms"]
+        assert {"p50", "p90", "p99", "window", "observed"} <= set(latency)
+        assert latency["observed"] == 5
+        assert latency["window"] == 5
+        assert 0 < latency["p50"] <= latency["p99"]
+
+    def test_slow_query_log_records_plan_explain_trace(self, served,
+                                                       tmp_path):
+        log = str(tmp_path / "slow.jsonl")
+        with TableServer(served, slow_query_ms=0.0,
+                         slow_query_log=log) as server:
+            host, port = server.address
+            with ServeClient(host, port) as client:
+                plan = Plan.scan(("val",)).where(Range("val", 0, 99))
+                client.query("events", plan)
+                client.explain("events", plan)
+        lines = [json.loads(line)
+                 for line in open(log, encoding="utf-8")]
+        assert len(lines) == 2
+        record = lines[0]
+        assert record["op"] == "query" and record["table"] == "events"
+        assert record["elapsed_ms"] > 0 and record["timed_out"] is False
+        assert record["plan"]["nodes"]  # the plan JSON round-trips
+        assert "Scan[" in record["explain"]
+        span_names = {s["name"] for s in record["trace"]["spans"]}
+        assert "granule" in span_names and "admit" in span_names
+        # the render CLI understands slow-query JSONL directly
+        assert obs_main.main(["render", log]) == 0
+
+    def test_slow_query_threshold_filters(self, served, tmp_path):
+        log = str(tmp_path / "slow.jsonl")
+        with TableServer(served, slow_query_ms=60_000.0,
+                         slow_query_log=log) as server:
+            host, port = server.address
+            with ServeClient(host, port) as client:
+                client.query("events", Plan.scan(("val",)))
+        assert not os.path.exists(log)
+
+    def test_timeout_lands_in_slow_log(self, served, tmp_path):
+        log = str(tmp_path / "slow.jsonl")
+        with TableServer(served, slow_query_ms=0.0,
+                         slow_query_log=log) as server:
+            host, port = server.address
+            with ServeClient(host, port) as client:
+                with pytest.raises(ExecTimeout):
+                    client.query("events", Plan.scan(("val",)),
+                                 timeout_s=1e-9)
+        records = [json.loads(line)
+                   for line in open(log, encoding="utf-8")]
+        assert any(r["timed_out"] for r in records)
+
+
+# ===================================================================
+# scrub / info accounting + render CLI
+# ===================================================================
+class TestScrubInfoAccounting:
+    def test_scrub_reports_time_and_bytes(self, tmp_path):
+        path = str(tmp_path / "t")
+        make_table(path, n=2048, shard_rows=1024)
+        report = scrub_table(path)
+        assert report.ok and len(report.shards) == 2
+        for shard in report.shards:
+            assert shard.bytes_walked > 0
+            assert shard.elapsed_s > 0
+        assert report.bytes_walked == sum(s.bytes_walked
+                                          for s in report.shards)
+        assert "walked:" in report.summary()
+
+    def test_scrub_json_cli(self, tmp_path, capsys):
+        path = str(tmp_path / "t")
+        make_table(path)
+        assert store_cli.main(["scrub", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["bytes_walked"] > 0 and payload["elapsed_s"] > 0
+        for shard in payload["shards"]:
+            assert shard["bytes_walked"] > 0
+            assert shard["elapsed_s"] > 0
+
+    def test_info_reports_per_shard(self, tmp_path, capsys):
+        path = str(tmp_path / "t")
+        make_table(path, n=2048, shard_rows=1024)
+        assert store_cli.main(["info", path]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["shards"]) == 2
+        for shard in payload["shards"]:
+            assert shard["stored_bytes"] > 0
+            assert shard["open_ms"] >= 0
+            assert shard["n_rows"] == 1024
+        assert sum(s["stored_bytes"] for s in payload["shards"]) \
+            == payload["stored_bytes"]
+
+    def test_render_cli_trace_file(self, tmp_path, capsys):
+        trace = Trace("demo")
+        with trace.span("load", column="val"):
+            pass
+        with trace.span("merge"):
+            pass
+        path = str(tmp_path / "trace.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(trace.to_json(), fh)
+        assert obs_main.main(["render", path]) == 0
+        out = capsys.readouterr().out
+        assert "trace: demo" in out
+        assert "load" in out and "merge" in out and "#" in out
+        assert obs_main.main(["render", "--chrome", path]) == 0
+        chrome = json.loads(capsys.readouterr().out)
+        assert [e["name"] for e in chrome["traceEvents"]] \
+            == ["load", "merge"]
+
+    def test_render_trace_ascii(self):
+        trace = Trace("demo")
+        trace.add("a", 0.0, 0.010)
+        trace.add("b", 0.010, 0.020)
+        text = render_trace(trace.to_json(), width=40)
+        lines = text.splitlines()
+        assert lines[0].startswith("trace: demo")
+        assert any("10.000ms" in line for line in lines)
