@@ -1,0 +1,273 @@
+"""Process-tier benchmark: thread scheduler vs process scheduler (PR 9).
+
+A codec-decode-bound scan — a full-table sum over a rANS-encoded
+column, chunk caches disabled on both sides so every run pays the
+entropy decode — executed through the thread-tier
+:class:`~repro.exec.pool.MorselScheduler` and the process-tier
+:class:`~repro.par.ProcessScheduler` at matched worker counts.  The
+thread tier shares one GIL no matter how many workers it has; the
+process tier decodes on real cores.  Reports scan wall time and
+rows/s per (tier, workers), verifies every configuration returns the
+identical aggregate, and checks:
+
+* **parity at 1 worker** — the process tier's descriptor/IPC overhead
+  stays within tolerance of the thread tier (the CI gate);
+* **scaling at 4 workers** — process >= 2x thread, evaluated only on
+  machines with >= 4 CPUs (recorded as skipped elsewhere);
+* **serve QPS 8 -> 64 clients** (full mode) — a process-tier
+  :class:`~repro.serve.TableServer` keeps gaining throughput as
+  concurrency rises.
+
+Writes ``BENCH_par.json``::
+
+    python benchmarks/bench_par.py [--quick] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from repro.datasets import sensor_fixture
+from repro.exec import MorselScheduler, Plan, col
+from repro.exec.run import execute
+from repro.par import ProcessScheduler, default_start_method
+from repro.serve import ServeClient, TableServer
+from repro.store import Table, write_table
+from repro.store.executor import StoreSource
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import emit, headline
+
+FULL_N = 300_000
+QUICK_N = 100_000
+WORKERS_FULL = (1, 2, 4, 8)
+WORKERS_QUICK = (1, 2)
+REPEATS = 3
+#: decode-bound: byte-wise rANS entropy coding, the heaviest decode in
+#: the registry — the thread tier serializes it on the GIL
+CODEC = "rans"
+#: 1-worker parity tolerance (process QPS >= thread QPS * tolerance);
+#: quick mode is looser — CI machines are small and noisy
+PARITY_FULL = 0.90
+PARITY_QUICK = 0.75
+
+SERVE_CLIENTS = (8, 64)
+REQUESTS_PER_CLIENT = 4
+
+
+def _build(n: int) -> str:
+    root = tempfile.mkdtemp(prefix="repro_par_bench_")
+    write_table(os.path.join(root, "events"), sensor_fixture(n, seed=0),
+                codec=CODEC, shard_rows=max(n // 8, 8192),
+                chunk_rows=4096)
+    return root
+
+
+SCAN = Plan.scan(["reading"]).aggregate(
+    {"total": ("sum", "reading"), "n": ("count", "reading")})
+
+
+def _time_scan(source, scheduler) -> tuple[float, dict]:
+    best = float("inf")
+    groups = None
+    execute(SCAN, source, scheduler=scheduler)  # warm page cache / lanes
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = execute(SCAN, source, scheduler=scheduler)
+        best = min(best, time.perf_counter() - start)
+        groups = result.groups
+    return best, groups[None]
+
+
+def _scan_modes(root: str, n: int, worker_counts) -> tuple[dict, dict]:
+    results: dict[str, dict] = {"thread": {}, "process": {}}
+    answers = []
+    # cache_bytes=0 on the driver rides the descriptor to every worker:
+    # both tiers decode every chunk on every run (decode-bound, not
+    # cache-bound)
+    with Table.open(os.path.join(root, "events"), cache_bytes=0) as table:
+        source = StoreSource(table)
+        for workers in worker_counts:
+            for tier in ("thread", "process"):
+                sched = (MorselScheduler(workers=workers,
+                                         name="par-bench-thread")
+                         if tier == "thread" else
+                         ProcessScheduler(workers=workers,
+                                          name="par-bench-process"))
+                try:
+                    wall, answer = _time_scan(source, sched)
+                finally:
+                    sched.close()
+                answers.append(answer)
+                results[tier][str(workers)] = {
+                    "workers": workers,
+                    "wall_s": wall,
+                    "rows_per_s": n / wall,
+                }
+    checks = {"results_identical": bool(
+        all(a == answers[0] for a in answers))}
+    return results, checks
+
+
+def _drive_serve(server: TableServer, n_clients: int, plan,
+                 expected_rows: int) -> dict:
+    host, port = server.address
+    latencies: list[float] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+
+    def client(idx: int) -> None:
+        try:
+            with ServeClient(host, port) as c:
+                for _ in range(REQUESTS_PER_CLIENT):
+                    start = time.perf_counter()
+                    res = c.query("events", plan, timeout_s=300.0,
+                                  limit=64)
+                    elapsed = time.perf_counter() - start
+                    with lock:
+                        latencies.append(elapsed)
+                        if res["n_rows"] != expected_rows:
+                            errors.append(f"client {idx}: wrong rows")
+        except Exception as exc:
+            with lock:
+                errors.append(f"client {idx}: {exc!r}")
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(n_clients)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+    lats = np.asarray(latencies) * 1e3
+    return {"clients": n_clients, "requests": len(latencies),
+            "errors": errors, "wall_s": wall,
+            "qps": len(latencies) / wall,
+            "p50_ms": float(np.percentile(lats, 50)),
+            "p99_ms": float(np.percentile(lats, 99))}
+
+
+def _serve_mode(root: str, n: int) -> tuple[dict, dict]:
+    columns = sensor_fixture(n, seed=0)
+    ts = columns["ts"]
+    lo = int(ts[n // 2])
+    hi = int(ts[n // 2 + max(int(n * 0.005), 1)])
+    plan = (Plan.scan(["sensor_id", "reading"])
+            .where(col("ts").between(lo, hi)))
+    expected = int(((ts >= lo) & (ts < hi)).sum())
+
+    results: dict[str, dict] = {}
+    server = TableServer(root, workers=2, worker_tier="process",
+                         max_inflight=None, queue_depth=None).start()
+    try:
+        _drive_serve(server, 1, plan, expected)  # warm
+        for n_clients in SERVE_CLIENTS:
+            results[str(n_clients)] = _drive_serve(
+                server, n_clients, plan, expected)
+    finally:
+        server.shutdown()
+    lo_qps = results[str(SERVE_CLIENTS[0])]["qps"]
+    hi_qps = results[str(SERVE_CLIENTS[-1])]["qps"]
+    ok = all(not results[k]["errors"] for k in results)
+    checks = {"serve_responses_correct": bool(ok)}
+    if (os.cpu_count() or 1) >= 4:
+        key = (f"serve_qps_increases_{SERVE_CLIENTS[0]}"
+               f"_to_{SERVE_CLIENTS[-1]}")
+        checks[key] = bool(hi_qps > lo_qps)
+    else:
+        emit(f"note: serve QPS-scaling check skipped "
+             f"(cpus={os.cpu_count()}); recorded "
+             f"{lo_qps:.1f} -> {hi_qps:.1f} QPS")
+    return results, checks
+
+
+def run(n: int, worker_counts, quick: bool) -> dict:
+    root = _build(n)
+    try:
+        scan, checks = _scan_modes(root, n, worker_counts)
+
+        parity = PARITY_QUICK if quick else PARITY_FULL
+        thread_1 = scan["thread"]["1"]["rows_per_s"]
+        process_1 = scan["process"]["1"]["rows_per_s"]
+        checks["process_parity_at_1_worker"] = bool(
+            process_1 >= thread_1 * parity)
+
+        cpus = os.cpu_count() or 1
+        if not quick and 4 in worker_counts and cpus >= 4:
+            checks["process_2x_thread_at_4_workers"] = bool(
+                scan["process"]["4"]["rows_per_s"]
+                >= 2.0 * scan["thread"]["4"]["rows_per_s"])
+        else:
+            emit(f"note: 2x-at-4-workers check skipped "
+                 f"(quick={quick}, cpus={cpus})")
+
+        serve: dict = {}
+        if not quick:
+            serve, serve_checks = _serve_mode(root, n)
+            checks.update(serve_checks)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    rows = []
+    for tier in ("thread", "process"):
+        for workers in worker_counts:
+            e = scan[tier][str(workers)]
+            rows.append([tier, f"{workers}", f"{e['wall_s'] * 1e3:.1f}",
+                         f"{e['rows_per_s'] / 1e6:.2f}"])
+    emit(render_table(["tier", "workers", "scan ms", "Mrows/s"], rows))
+    if serve:
+        srows = [[k, f"{serve[k]['qps']:.1f}",
+                  f"{serve[k]['p50_ms']:.1f}",
+                  f"{serve[k]['p99_ms']:.1f}"] for k in serve]
+        emit(render_table(["clients", "QPS", "p50 ms", "p99 ms"], srows))
+    emit("checks: " + ", ".join(f"{k}={v}" for k, v in checks.items()))
+    return {"n": n, "codec": CODEC, "repeats": REPEATS,
+            "cpu_count": os.cpu_count(),
+            "start_method": default_start_method(),
+            "worker_counts": list(worker_counts),
+            "parity_tolerance": parity,
+            "scan": scan, "serve": serve, "checks": checks}
+
+
+def render_table(header, rows) -> str:
+    widths = [max(len(str(r[i])) for r in [header] + rows)
+              for i in range(len(header))]
+    lines = ["  ".join(f"{str(c):>{w}}" for c, w in zip(r, widths))
+             for r in [header] + rows]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--json", default="BENCH_par.json")
+    args = parser.parse_args(argv)
+    n = QUICK_N if args.quick else FULL_N
+    worker_counts = WORKERS_QUICK if args.quick else WORKERS_FULL
+    emit(headline(
+        "Process-tier benchmark",
+        f"thread vs process scheduler on a {CODEC}-decode-bound scan, "
+        f"n={n}, workers {worker_counts}, "
+        f"start method {default_start_method()}"))
+    payload = run(n, worker_counts, args.quick)
+    with open(args.json, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    emit(f"\nwrote {args.json}")
+    failed = [name for name, ok in payload["checks"].items() if not ok]
+    if failed:  # the CI smoke step must go red, not just record it
+        raise SystemExit(f"par bench checks failed: {', '.join(failed)}")
+
+
+if __name__ == "__main__":
+    main()

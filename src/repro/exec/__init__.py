@@ -50,8 +50,12 @@ from repro.exec.expr import (
     split_pushdown,
 )
 from repro.exec.plan import AGG_OPS, PLAN_JSON_VERSION, Plan
-from repro.exec.pool import MorselScheduler, shared_scheduler
-from repro.exec.run import ExecResult, ExecStats, execute
+from repro.exec.pool import (
+    MorselScheduler,
+    configure_shared_scheduler,
+    shared_scheduler,
+)
+from repro.exec.run import ExecResult, ExecStats, GranulePipeline, execute
 from repro.exec.source import (
     ArraySource,
     ChainSource,
@@ -75,6 +79,7 @@ __all__ = [
     "Expr",
     "GranuleError",
     "Granule",
+    "GranulePipeline",
     "InSet",
     "MorselScheduler",
     "Or",
@@ -83,6 +88,7 @@ __all__ = [
     "Range",
     "ServerBusy",
     "col",
+    "configure_shared_scheduler",
     "conjuncts",
     "execute",
     "expr_from_json",

@@ -72,9 +72,9 @@ class _Job:
     """One query's granule work registered with the scheduler."""
 
     __slots__ = ("fn", "queue", "results", "outstanding", "failure",
-                 "cancel", "deadline", "done", "executed")
+                 "cancel", "deadline", "done", "executed", "descriptor")
 
-    def __init__(self, fn, items, cancel, deadline):
+    def __init__(self, fn, items, cancel, deadline, descriptor=None):
         self.fn = fn
         self.queue = deque(enumerate(items))
         self.results = [None] * len(items)
@@ -84,6 +84,9 @@ class _Job:
         self.deadline = deadline
         self.done = threading.Event()
         self.executed = 0  # granules actually run (metrics, batched)
+        # picklable query descriptor for process tiers (None = the job
+        # can only run in-driver via ``fn``)
+        self.descriptor = descriptor
 
     @property
     def remaining(self) -> int:
@@ -98,6 +101,12 @@ class MorselScheduler:
     their granules finish) and the pool never grows past ``workers``
     threads no matter how many queries are in flight.
     """
+
+    #: which execution tier this scheduler is ("thread" / "process")
+    tier = "thread"
+    #: True when run_query callers should build a picklable query
+    #: descriptor (the process tier ships those to worker processes)
+    wants_descriptors = False
 
     def __init__(self, workers: int | None = None, policy: str = "fair",
                  max_inflight: int | None = None,
@@ -144,7 +153,7 @@ class MorselScheduler:
         self.queries_rejected = 0
         self.granules_executed = 0
         self._threads = [
-            threading.Thread(target=self._worker, daemon=True,
+            threading.Thread(target=self._worker, args=(i,), daemon=True,
                              name=f"{name}-{i}")
             for i in range(workers)]
         for thread in self._threads:
@@ -259,7 +268,14 @@ class MorselScheduler:
         if job.outstanding == 0:
             job.done.set()
 
-    def _worker(self) -> None:
+    def _run_item(self, worker_idx: int, job: _Job, item):
+        """Execute one granule of ``job``.  The thread tier simply calls
+        the job's closure in-process; :class:`repro.par.ProcessScheduler`
+        overrides this to ship descriptor-bearing jobs to the worker
+        process owned by lane ``worker_idx``."""
+        return job.fn(item)
+
+    def _worker(self, worker_idx: int) -> None:
         while True:
             with self._cond:
                 while not self._ready and not self._shutdown:
@@ -273,7 +289,7 @@ class MorselScheduler:
             result = None
             if job.failure is None:
                 try:
-                    result = job.fn(item)
+                    result = self._run_item(worker_idx, job, item)
                 except BaseException as err:  # first failure cancels the job
                     with self._cond:
                         if job.failure is None:
@@ -287,7 +303,8 @@ class MorselScheduler:
 
     # ------------------------------------------------------------- queries
     def run_query(self, fn, items, cancel: threading.Event,
-                  deadline: float | None = None, trace=None) -> list:
+                  deadline: float | None = None, trace=None,
+                  descriptor=None) -> list:
         """Run ``fn(item)`` for every item on the shared pool.
 
         Blocks until the job finishes (or its deadline drains it) and
@@ -296,12 +313,17 @@ class MorselScheduler:
         here; :class:`ServerBusy` raises before any work when admission
         rejects the query.  ``trace`` (a :class:`repro.obs.Trace`)
         records admit/park spans — passed explicitly, per the obs
-        propagation rule.
+        propagation rule.  ``descriptor`` is an optional picklable
+        description of the whole query (a
+        :class:`repro.par.QueryDescriptor`); the thread tier ignores it,
+        a process tier uses it to run granules out-of-process.  Callers
+        should only build one when the scheduler advertises
+        ``wants_descriptors``.
         """
         items = list(items)
         if not self._admit(deadline, trace):
             return [None] * len(items)  # deadline spent parked: 0/N ran
-        job = _Job(fn, items, cancel, deadline)
+        job = _Job(fn, items, cancel, deadline, descriptor)
         try:
             if not items:
                 return []
@@ -332,6 +354,7 @@ class MorselScheduler:
         with self._cond:
             return {
                 "workers": self.workers,
+                "tier": self.tier,
                 "policy": self.policy,
                 "max_inflight": self.max_inflight,
                 "queue_depth": self.queue_depth,
@@ -379,17 +402,78 @@ class MorselScheduler:
 _shared: MorselScheduler | None = None
 _shared_lock = threading.Lock()
 
+#: env var overriding the lazy shared scheduler's worker count
+THREADS_ENV = "REPRO_THREADS"
+
+
+def _env_workers() -> int | None:
+    raw = os.environ.get(THREADS_ENV)
+    if raw is None or raw.strip() == "":
+        return None
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{THREADS_ENV} must be a positive integer, "
+            f"got {raw!r}") from None
+    if workers < 1:
+        raise ValueError(
+            f"{THREADS_ENV} must be a positive integer, got {raw!r}")
+    return workers
+
 
 def shared_scheduler() -> MorselScheduler:
     """The process-wide scheduler auto-threaded ``execute`` calls share.
 
-    Built lazily (workers = ``min(cpu, 8)``, fair policy, unbounded
-    admission — a plain ``execute`` call must never see
-    :class:`ServerBusy`) and never torn down: its threads are daemons.
+    Built lazily with fair policy and unbounded admission — a plain
+    ``execute`` call must never see :class:`ServerBusy` — and never
+    torn down on its own: its threads are daemons.  Worker-count
+    precedence: an explicit :func:`configure_shared_scheduler` call
+    wins, then the ``REPRO_THREADS`` env var (read when the instance is
+    lazily built), then the auto default ``min(cpu, 8)``.
     """
     global _shared
     if _shared is None:
         with _shared_lock:
             if _shared is None:
-                _shared = MorselScheduler(name="repro-exec-shared")
+                _shared = MorselScheduler(workers=_env_workers(),
+                                          name="repro-exec-shared")
     return _shared
+
+
+def configure_shared_scheduler(workers: int | None = None,
+                               policy: str = "fair",
+                               tier: str = "thread",
+                               start_method: str | None = None
+                               ) -> MorselScheduler:
+    """Replace the process-wide shared scheduler.
+
+    Closes the previous instance (draining in-flight queries) and
+    installs a fresh one with the requested shape.  ``workers=None``
+    falls back to ``REPRO_THREADS`` and then the auto default — the
+    documented precedence is *configure > env > auto*.  ``tier`` may be
+    ``"process"`` to make every auto-threaded ``execute`` call run its
+    granules on :class:`repro.par.ProcessScheduler` worker processes
+    (``start_method`` passes through to it).  Admission stays unbounded
+    either way.
+    """
+    if tier not in ("thread", "process"):
+        raise ValueError(
+            f"tier must be 'thread' or 'process', got {tier!r}")
+    if workers is None:
+        workers = _env_workers()
+    if tier == "process":
+        from repro.par import ProcessScheduler
+
+        fresh: MorselScheduler = ProcessScheduler(
+            workers=workers, policy=policy,
+            start_method=start_method, name="repro-exec-shared")
+    else:
+        fresh = MorselScheduler(workers=workers, policy=policy,
+                                name="repro-exec-shared")
+    global _shared
+    with _shared_lock:
+        old, _shared = _shared, fresh
+    if old is not None:
+        old.close(drain=True, timeout=10.0)
+    return fresh

@@ -398,6 +398,279 @@ def _probe(node: HashJoin, out: dict, row_ids: np.ndarray,
     return row_ids, columns
 
 
+# ---------------------------------------------------------------- pipeline
+class GranulePipeline:
+    """One plan's per-granule pipeline, bound to a column source.
+
+    Factored out of :func:`execute` so every execution tier runs the
+    *identical* code path: the in-process driver calls :meth:`run` from
+    scheduler threads, and a :mod:`repro.par` worker process rebuilds
+    the same pipeline from a shipped descriptor (its own mmap-opened
+    copy of the table) and calls :meth:`run` there.  Construction does
+    the plan/source validation, implicit-filter composition and
+    pushdown splitting once; :meth:`run` is pure per-granule work and
+    is safe to call concurrently from many threads.
+    """
+
+    def __init__(self, plan: Plan, source, *, prune: bool = True,
+                 pushdown: bool = True, on_corruption: str = "raise",
+                 io_retries: int = DEFAULT_IO_RETRIES):
+        if on_corruption not in ("raise", "skip"):
+            raise ValueError(
+                f"on_corruption must be 'raise' or 'skip', "
+                f"got {on_corruption!r}")
+        self.plan = plan
+        self.source = source
+        self.prune = prune
+        self.pushdown = pushdown
+        self.on_corruption = on_corruption
+        self.io_retries = io_retries
+        names = tuple(source.column_names)
+        expr = plan.filter_expr()
+        # sources may imply a filter of their own — a mutated table's
+        # deletion vectors arrive as a positional Bitmap term, applied
+        # through the ordinary expression machinery (no dedicated
+        # operator)
+        implicit = getattr(source, "implicit_filter", None)
+        self.implicit_expr = implicit() if callable(implicit) else None
+        if self.implicit_expr is not None:
+            expr = self.implicit_expr if expr is None \
+                else And.of(expr, self.implicit_expr)
+        self.expr = expr
+        self.terminal = terminal = plan.terminal()
+        self.output_cols = output_cols = plan.output_columns(names)
+        self.pred_cols = pred_cols = \
+            tuple(sorted(expr.columns())) if expr is not None else ()
+
+        if isinstance(terminal, Aggregate):
+            needed = [c for _, op, c in terminal.aggs if op != "count"]
+            if terminal.group_by is not None:
+                needed.append(terminal.group_by)
+            mat_cols = _ordered_unique(needed)
+        elif isinstance(terminal, HashJoin):
+            mat_cols = _ordered_unique(output_cols, (terminal.on,))
+        else:
+            mat_cols = output_cols
+        self.mat_cols = mat_cols
+
+        referenced = _ordered_unique(plan.scan_node.columns or (),
+                                     output_cols, mat_cols, pred_cols)
+        unknown = [c for c in referenced if c not in names]
+        if unknown:
+            raise KeyError(
+                f"unknown column(s) "
+                f"{', '.join(repr(c) for c in unknown)}; "
+                f"available: {', '.join(names)}")
+
+        if pushdown:
+            self.ranges, self.bitmaps, self.residual = \
+                split_pushdown(expr)
+        else:
+            self.ranges, self.bitmaps, self.residual = {}, (), expr
+
+    def run(self, granule, *, cancel: threading.Event | None = None,
+            deadline: float | None = None, trace=None) -> _Partial | None:
+        """Run one granule; returns its partial, or ``None`` when the
+        deadline passed before work started.  ``cancel`` may be ``None``
+        (a par worker has no shared event — its driver abandons the
+        lane instead)."""
+        # cooperative cancellation: a granule that starts after the
+        # deadline passed (or after a sibling failed) does no work
+        if cancel is not None and cancel.is_set():
+            return None
+        if deadline is not None and time.perf_counter() > deadline:
+            if cancel is not None:
+                cancel.set()
+            return None
+        source = self.source
+        st = ExecStats(granules_total=1)
+        loaded: dict[str, object] = {}
+        where = {"column": None}  # last column touched, for error context
+        rng: random.Random | None = None
+
+        def load(column: str):
+            nonlocal rng
+            seq = loaded.get(column)
+            if seq is not None:
+                return seq
+            where["column"] = column
+            t_load = trace.now() if trace is not None else 0.0
+            pre_hits = st.cache_hits
+            attempt = 0
+            while True:
+                try:
+                    seq = source.load(granule, column, st)
+                    break
+                except OSError as err:
+                    # only EIO is plausibly transient; seeded jittered
+                    # backoff keeps a failing schedule replayable
+                    if err.errno != errno.EIO or \
+                            attempt >= self.io_retries:
+                        raise
+                    attempt += 1
+                    st.io_retries += 1
+                    if rng is None:
+                        rng = random.Random(0x9E3779B9 ^ granule.index)
+                    time.sleep(rng.uniform(0.0005, 0.002) * attempt)
+            loaded[column] = seq
+            if trace is not None:
+                trace.add("load", t_load, trace.now(),
+                          granule=granule.index, column=column,
+                          cache_hit=st.cache_hits > pre_hits)
+            return seq
+
+        t_span = trace.now() if trace is not None else 0.0
+        try:
+            part = self._pipeline(granule, st, load, trace)
+        except CorruptChunkError:
+            if self.on_corruption == "skip":
+                st.chunks_corrupt += 1
+                part = _Partial(_EMPTY,
+                                {c: _EMPTY for c in self.output_cols},
+                                None, st)
+            else:
+                if cancel is not None:
+                    cancel.set()
+                raise
+        except GranuleError:
+            if cancel is not None:
+                cancel.set()
+            raise
+        except Exception as err:
+            if cancel is not None:
+                cancel.set()
+            shard_of = getattr(source, "granule_shard", None)
+            raise GranuleError(
+                err, granule=granule.index,
+                shard=shard_of(granule) if callable(shard_of) else None,
+                column=where["column"]) from err
+        if trace is not None:
+            trace.add("granule", t_span, trace.now(),
+                      granule=granule.index,
+                      pruned=bool(st.granules_pruned),
+                      cache_hits=st.cache_hits,
+                      cache_misses=st.cache_misses,
+                      rows=st.rows_scanned)
+        return part
+
+    def _pipeline(self, granule, st: ExecStats, load, trace) -> _Partial:
+        source = self.source
+        expr = self.expr
+        terminal = self.terminal
+        output_cols = self.output_cols
+        pushdown = self.pushdown
+        residual = self.residual
+        n = granule.n_rows
+        if expr is not None and self.prune:
+            bounds = {c: source.bounds(granule, c)
+                      for c in self.pred_cols}
+            if not expr.maybe_match(bounds, granule.row_start, n):
+                st.granules_pruned = 1
+                return _Partial(_EMPTY, {c: _EMPTY for c in output_cols},
+                                None, st)
+
+        naive_batch: dict[str, np.ndarray] = {}
+        residual_values: dict[str, np.ndarray] = {}
+        if expr is None:
+            positions = None
+        elif pushdown:
+            t0 = time.perf_counter()
+            mask = None
+            for term in self.bitmaps:
+                local = term.bitmap[granule.row_start:
+                                    granule.row_start + n]
+                mask = local.copy() if mask is None else mask & local
+            if self.bitmaps:
+                st.rows_masked += n - int(mask.sum())
+            for column, rng in self.ranges.items():
+                if mask is not None and not mask.any():
+                    break
+                if rng.is_empty:
+                    mask = np.zeros(n, dtype=bool)
+                    break
+                part = load(column).filter_range(rng.lo, rng.hi)
+                mask = part if mask is None else mask & part
+            positions = np.arange(n, dtype=np.int64) if mask is None \
+                else np.flatnonzero(mask)
+            if residual is not None and positions.size:
+                batch = {c: load(c).gather(positions)
+                         for c in sorted(residual.columns())}
+                keep = residual.evaluate(batch,
+                                         granule.row_start + positions)
+                positions = positions[keep]
+                # the residual gather already decoded these columns at
+                # the surviving positions; reuse instead of re-gathering
+                residual_values = {c: values[keep]
+                                   for c, values in batch.items()}
+            st.cpu_filter_s += time.perf_counter() - t0
+            if trace is not None:
+                trace.add("filter", t0 - trace.t0,
+                          time.perf_counter() - trace.t0,
+                          granule=granule.index)
+        else:
+            # naive: decode every predicate column fully, then compare
+            for c in self.pred_cols:
+                naive_batch[c] = load(c).decode_all()
+            t0 = time.perf_counter()
+            row_ids = granule.row_start + np.arange(n, dtype=np.int64)
+            positions = np.flatnonzero(expr.evaluate(naive_batch,
+                                                     row_ids))
+            st.cpu_filter_s += time.perf_counter() - t0
+            if trace is not None:
+                trace.add("filter", t0 - trace.t0,
+                          time.perf_counter() - trace.t0,
+                          granule=granule.index)
+
+        st.rows_scanned += n if positions is None else len(positions)
+        if positions is not None and positions.size == 0:
+            return _Partial(_EMPTY, {c: _EMPTY for c in output_cols},
+                            None, st)
+
+        t0 = time.perf_counter()
+        out: dict[str, np.ndarray] = {}
+        for c in self.mat_cols:
+            if positions is None:
+                out[c] = load(c).decode_all()
+            elif c in naive_batch:
+                out[c] = naive_batch[c][positions]
+            elif c in residual_values:
+                out[c] = residual_values[c]
+            elif not pushdown:
+                out[c] = load(c).decode_all()[positions]
+            else:
+                out[c] = load(c).gather(positions)
+        st.cpu_gather_s += time.perf_counter() - t0
+        if trace is not None:
+            trace.add("gather", t0 - trace.t0,
+                      time.perf_counter() - trace.t0,
+                      granule=granule.index)
+        row_ids = granule.row_start + (
+            np.arange(n, dtype=np.int64) if positions is None
+            else positions)
+
+        if isinstance(terminal, Aggregate):
+            t0 = time.perf_counter()
+            agg = _agg_partial(terminal, out, len(row_ids))
+            st.cpu_aggregate_s += time.perf_counter() - t0
+            if trace is not None:
+                trace.add("aggregate", t0 - trace.t0,
+                          time.perf_counter() - trace.t0,
+                          granule=granule.index)
+            return _Partial(_EMPTY, {}, agg, st)
+        if isinstance(terminal, HashJoin):
+            t0 = time.perf_counter()
+            row_ids, columns = _probe(terminal, out, row_ids,
+                                      output_cols)
+            st.cpu_join_s += time.perf_counter() - t0
+            if trace is not None:
+                trace.add("join", t0 - trace.t0,
+                          time.perf_counter() - trace.t0,
+                          granule=granule.index)
+            return _Partial(row_ids, columns, None, st)
+        return _Partial(row_ids, {c: out[c] for c in output_cols},
+                        None, st)
+
+
 # ----------------------------------------------------------------- execute
 def execute(plan: Plan, source, threads: int | None = None,
             prune: bool = True, pushdown: bool = True,
@@ -453,232 +726,24 @@ def execute(plan: Plan, source, threads: int | None = None,
         because pool threads interleave granules of many queries.  The
         result carries it back as :attr:`ExecResult.trace`.
     """
-    if on_corruption not in ("raise", "skip"):
-        raise ValueError(
-            f"on_corruption must be 'raise' or 'skip', "
-            f"got {on_corruption!r}")
     if timeout_s is not None and timeout_s <= 0:
         raise ValueError(f"timeout_s must be positive, got {timeout_s}")
     start = time.perf_counter()
     deadline = None if timeout_s is None else start + timeout_s
     cancel = threading.Event()
-    names = tuple(source.column_names)
-    expr = plan.filter_expr()
-    # sources may imply a filter of their own — a mutated table's
-    # deletion vectors arrive as a positional Bitmap term, applied
-    # through the ordinary expression machinery (no dedicated operator)
-    implicit = getattr(source, "implicit_filter", None)
-    implicit_expr = implicit() if callable(implicit) else None
-    if implicit_expr is not None:
-        expr = implicit_expr if expr is None \
-            else And.of(expr, implicit_expr)
-    terminal = plan.terminal()
-    output_cols = plan.output_columns(names)
-    pred_cols = tuple(sorted(expr.columns())) if expr is not None else ()
-
-    if isinstance(terminal, Aggregate):
-        needed = [c for _, op, c in terminal.aggs if op != "count"]
-        if terminal.group_by is not None:
-            needed.append(terminal.group_by)
-        mat_cols = _ordered_unique(needed)
-    elif isinstance(terminal, HashJoin):
-        mat_cols = _ordered_unique(output_cols, (terminal.on,))
-    else:
-        mat_cols = output_cols
-
-    referenced = _ordered_unique(plan.scan_node.columns or (), output_cols,
-                                 mat_cols, pred_cols)
-    unknown = [c for c in referenced if c not in names]
-    if unknown:
-        raise KeyError(
-            f"unknown column(s) {', '.join(repr(c) for c in unknown)}; "
-            f"available: {', '.join(names)}")
-
-    if pushdown:
-        ranges, bitmaps, residual = split_pushdown(expr)
-    else:
-        ranges, bitmaps, residual = {}, (), expr
+    pipeline = GranulePipeline(plan, source, prune=prune,
+                               pushdown=pushdown,
+                               on_corruption=on_corruption,
+                               io_retries=io_retries)
+    terminal = pipeline.terminal
+    output_cols = pipeline.output_cols
+    ranges, bitmaps, residual = \
+        pipeline.ranges, pipeline.bitmaps, pipeline.residual
+    implicit_expr = pipeline.implicit_expr
 
     def run_granule(granule) -> _Partial | None:
-        # cooperative cancellation: a granule that starts after the
-        # deadline passed (or after a sibling failed) does no work
-        if cancel.is_set():
-            return None
-        if deadline is not None and time.perf_counter() > deadline:
-            cancel.set()
-            return None
-        st = ExecStats(granules_total=1)
-        loaded: dict[str, object] = {}
-        where = {"column": None}  # last column touched, for error context
-        rng: random.Random | None = None
-
-        def load(column: str):
-            nonlocal rng
-            seq = loaded.get(column)
-            if seq is not None:
-                return seq
-            where["column"] = column
-            t_load = trace.now() if trace is not None else 0.0
-            pre_hits = st.cache_hits
-            attempt = 0
-            while True:
-                try:
-                    seq = source.load(granule, column, st)
-                    break
-                except OSError as err:
-                    # only EIO is plausibly transient; seeded jittered
-                    # backoff keeps a failing schedule replayable
-                    if err.errno != errno.EIO or attempt >= io_retries:
-                        raise
-                    attempt += 1
-                    st.io_retries += 1
-                    if rng is None:
-                        rng = random.Random(0x9E3779B9 ^ granule.index)
-                    time.sleep(rng.uniform(0.0005, 0.002) * attempt)
-            loaded[column] = seq
-            if trace is not None:
-                trace.add("load", t_load, trace.now(),
-                          granule=granule.index, column=column,
-                          cache_hit=st.cache_hits > pre_hits)
-            return seq
-
-        t_span = trace.now() if trace is not None else 0.0
-        try:
-            part = _pipeline(granule, st, load)
-        except CorruptChunkError:
-            if on_corruption == "skip":
-                st.chunks_corrupt += 1
-                part = _Partial(_EMPTY, {c: _EMPTY for c in output_cols},
-                                None, st)
-            else:
-                cancel.set()
-                raise
-        except GranuleError:
-            cancel.set()
-            raise
-        except Exception as err:
-            cancel.set()
-            shard_of = getattr(source, "granule_shard", None)
-            raise GranuleError(
-                err, granule=granule.index,
-                shard=shard_of(granule) if callable(shard_of) else None,
-                column=where["column"]) from err
-        if trace is not None:
-            trace.add("granule", t_span, trace.now(),
-                      granule=granule.index,
-                      pruned=bool(st.granules_pruned),
-                      cache_hits=st.cache_hits,
-                      cache_misses=st.cache_misses,
-                      rows=st.rows_scanned)
-        return part
-
-    def _pipeline(granule, st: ExecStats, load) -> _Partial:
-        n = granule.n_rows
-        if expr is not None and prune:
-            bounds = {c: source.bounds(granule, c) for c in pred_cols}
-            if not expr.maybe_match(bounds, granule.row_start, n):
-                st.granules_pruned = 1
-                return _Partial(_EMPTY, {c: _EMPTY for c in output_cols},
-                                None, st)
-
-        naive_batch: dict[str, np.ndarray] = {}
-        residual_values: dict[str, np.ndarray] = {}
-        if expr is None:
-            positions = None
-        elif pushdown:
-            t0 = time.perf_counter()
-            mask = None
-            for term in bitmaps:
-                local = term.bitmap[granule.row_start:
-                                    granule.row_start + n]
-                mask = local.copy() if mask is None else mask & local
-            if bitmaps:
-                st.rows_masked += n - int(mask.sum())
-            for column, rng in ranges.items():
-                if mask is not None and not mask.any():
-                    break
-                if rng.is_empty:
-                    mask = np.zeros(n, dtype=bool)
-                    break
-                part = load(column).filter_range(rng.lo, rng.hi)
-                mask = part if mask is None else mask & part
-            positions = np.arange(n, dtype=np.int64) if mask is None \
-                else np.flatnonzero(mask)
-            if residual is not None and positions.size:
-                batch = {c: load(c).gather(positions)
-                         for c in sorted(residual.columns())}
-                keep = residual.evaluate(batch,
-                                         granule.row_start + positions)
-                positions = positions[keep]
-                # the residual gather already decoded these columns at
-                # the surviving positions; reuse instead of re-gathering
-                residual_values = {c: values[keep]
-                                   for c, values in batch.items()}
-            st.cpu_filter_s += time.perf_counter() - t0
-            if trace is not None:
-                trace.add("filter", t0 - trace.t0,
-                          time.perf_counter() - trace.t0,
-                          granule=granule.index)
-        else:
-            # naive: decode every predicate column fully, then compare
-            for c in pred_cols:
-                naive_batch[c] = load(c).decode_all()
-            t0 = time.perf_counter()
-            row_ids = granule.row_start + np.arange(n, dtype=np.int64)
-            positions = np.flatnonzero(expr.evaluate(naive_batch, row_ids))
-            st.cpu_filter_s += time.perf_counter() - t0
-            if trace is not None:
-                trace.add("filter", t0 - trace.t0,
-                          time.perf_counter() - trace.t0,
-                          granule=granule.index)
-
-        st.rows_scanned += n if positions is None else len(positions)
-        if positions is not None and positions.size == 0:
-            return _Partial(_EMPTY, {c: _EMPTY for c in output_cols},
-                            None, st)
-
-        t0 = time.perf_counter()
-        out: dict[str, np.ndarray] = {}
-        for c in mat_cols:
-            if positions is None:
-                out[c] = load(c).decode_all()
-            elif c in naive_batch:
-                out[c] = naive_batch[c][positions]
-            elif c in residual_values:
-                out[c] = residual_values[c]
-            elif not pushdown:
-                out[c] = load(c).decode_all()[positions]
-            else:
-                out[c] = load(c).gather(positions)
-        st.cpu_gather_s += time.perf_counter() - t0
-        if trace is not None:
-            trace.add("gather", t0 - trace.t0,
-                      time.perf_counter() - trace.t0,
-                      granule=granule.index)
-        row_ids = granule.row_start + (
-            np.arange(n, dtype=np.int64) if positions is None
-            else positions)
-
-        if isinstance(terminal, Aggregate):
-            t0 = time.perf_counter()
-            agg = _agg_partial(terminal, out, len(row_ids))
-            st.cpu_aggregate_s += time.perf_counter() - t0
-            if trace is not None:
-                trace.add("aggregate", t0 - trace.t0,
-                          time.perf_counter() - trace.t0,
-                          granule=granule.index)
-            return _Partial(_EMPTY, {}, agg, st)
-        if isinstance(terminal, HashJoin):
-            t0 = time.perf_counter()
-            row_ids, columns = _probe(terminal, out, row_ids, output_cols)
-            st.cpu_join_s += time.perf_counter() - t0
-            if trace is not None:
-                trace.add("join", t0 - trace.t0,
-                          time.perf_counter() - trace.t0,
-                          granule=granule.index)
-            return _Partial(row_ids, columns, None, st)
-        return _Partial(row_ids, {c: out[c] for c in output_cols},
-                        None, st)
+        return pipeline.run(granule, cancel=cancel, deadline=deadline,
+                            trace=trace)
 
     granules = source.granules()
     n_threads = _thread_count(source, len(granules), threads)
@@ -701,8 +766,21 @@ def execute(plan: Plan, source, threads: int | None = None,
 
             sched = scheduler if scheduler is not None \
                 else shared_scheduler()
+            kwargs = {}
+            if getattr(sched, "wants_descriptors", False):
+                # a process tier asks for a compact picklable descriptor
+                # of the whole query; sources that cannot be described
+                # (in-memory arrays, chains) return None and fall back
+                # to in-driver execution on the lane threads
+                from repro.par.descriptor import describe_query
+
+                desc = describe_query(
+                    plan, source, prune=prune, pushdown=pushdown,
+                    on_corruption=on_corruption, io_retries=io_retries)
+                if desc is not None:
+                    kwargs["descriptor"] = desc
             for part in sched.run_query(run_granule, granules, cancel,
-                                        deadline, trace=trace):
+                                        deadline, trace=trace, **kwargs):
                 if part is None:
                     timed_out = True
                 else:

@@ -49,7 +49,19 @@ point                     fires
 ``chunk.read``            a column chunk leaving the mmap on a cache miss
 ``compact.rewrite``       before a shard run rewrites through the registry
 ``compact.commit``        before compaction publishes its generation
+``granule.exec``          a :mod:`repro.par` worker process about to run a
+                          granule (a ``crash`` there exits the worker
+                          process outright, so the driver's respawn /
+                          retry / ``GranuleError`` machinery is exercised
+                          with a *real* process death)
 ========================  =====================================================
+
+Injectors travel to spawned worker processes as plain dictionaries:
+:meth:`FaultInjector.to_spec` captures the seed and the armed rules
+(fire counters excluded — the worker starts a fresh schedule), and
+:meth:`FaultInjector.from_spec` rebuilds an equivalent injector on the
+other side of a pickle/JSON boundary.  ``fork``-started workers simply
+inherit the installed injector.
 """
 
 from __future__ import annotations
@@ -177,6 +189,28 @@ class FaultInjector:
         with self._lock:
             self._rules = []
             self.log = []
+
+    # -------------------------------------------------------- wire format
+    def to_spec(self) -> dict:
+        """This injector's seed + armed rules as a picklable/JSON-able
+        dict (fresh counters), for shipping to a spawned worker."""
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "rules": [
+                    {"pattern": r.pattern, "kind": r.kind, "at": r.at,
+                     "times": r.times, "options": dict(r.options)}
+                    for r in self._rules],
+            }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "FaultInjector":
+        """Rebuild an injector from :meth:`to_spec` output."""
+        injector = cls(seed=spec.get("seed", 0))
+        for rule in spec.get("rules", ()):
+            injector._add(rule["pattern"], rule["kind"], rule["at"],
+                          rule["times"], **rule.get("options", {}))
+        return injector
 
     def fired(self, point_glob: str = "*") -> int:
         """Total faults fired at points matching ``point_glob``."""

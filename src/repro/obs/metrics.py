@@ -139,13 +139,42 @@ class _CounterChild(_Child):
 
 
 class _GaugeChild(_Child):
+    __slots__ = ("_fn",)
+
+    def __init__(self):
+        super().__init__()
+        self._fn = None
+
+    def set_function(self, fn) -> None:
+        """Make this series *computed*: ``fn()`` is evaluated at render/
+        read time instead of storing pushed values.  This is how multi-
+        instance subsystems (one chunk cache per open table / worker)
+        export one truthful aggregate gauge — each ``set()`` from N
+        instances would otherwise clobber the others (last-writer-wins).
+        Mutating a function-backed series is a programming error."""
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        fn = self._fn
+        if fn is not None:
+            return float(fn())
+        with self._lock:
+            return self._value
+
     def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ValueError("gauge series is function-backed; "
+                             "mutate the underlying state instead")
         if not _ENABLED:
             return
         with self._lock:
             self._value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
+        if self._fn is not None:
+            raise ValueError("gauge series is function-backed; "
+                             "mutate the underlying state instead")
         if not _ENABLED:
             return
         with self._lock:
@@ -265,6 +294,11 @@ class Gauge(_Instrument):
 
     def dec(self, amount: float = 1.0) -> None:
         self._default_child().dec(amount)
+
+    def set_function(self, fn) -> None:
+        """Back the (unlabelled) series with ``fn()``, evaluated at
+        read/render time — see :meth:`_GaugeChild.set_function`."""
+        self._default_child().set_function(fn)
 
     @property
     def value(self) -> float:

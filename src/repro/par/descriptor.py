@@ -1,0 +1,120 @@
+"""Granule descriptors: the compact wire format of the process tier.
+
+A worker process never receives data — shards are mmap-able, so it
+opens the table itself (read-only; the OS page cache is shared across
+every worker for free) and only needs to be told *which* query and
+*which* granule to run.  :class:`QueryDescriptor` is that telling: the
+table directory, the pinned manifest generation, the plan (reusing the
+PR 7 :meth:`~repro.exec.plan.Plan.to_json` wire format, which carries
+the pushdown expression — ranges, IN-sets, OR trees and positional
+bitmaps alike), and the executor knobs (``prune`` / ``pushdown`` /
+``on_corruption`` / ``io_retries``) so the worker-side
+:class:`~repro.exec.run.GranulePipeline` is configured exactly like the
+driver's.
+
+Two deliberate choices:
+
+* **Generation pinning.**  ``version`` names the manifest generation
+  the driver's snapshot was opened at (``None`` for a legacy
+  single-manifest table, which has no ``CURRENT`` chain).  The worker
+  re-opens that exact generation, so deletion-vector sidecars — the
+  source's implicit Bitmap filter — are re-derived identically rather
+  than shipped.  ``n_rows`` / ``n_granules`` are cross-checked after
+  the open: any drift (a reaped generation, a half-visible publish)
+  fails loudly before a single granule runs.
+* **JSON-able throughout.**  The descriptor round-trips through
+  :meth:`to_json`/:meth:`from_json` losslessly, and the process tier
+  sends the JSON form over the pipe — so "survives pickle *and* JSON"
+  is a property of the actual wire, not an aspiration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exec.plan import Plan
+
+__all__ = ["DESCRIPTOR_VERSION", "QueryDescriptor", "describe_query"]
+
+#: bumped on any incompatible change to the descriptor wire format
+DESCRIPTOR_VERSION = 1
+
+
+@dataclass(frozen=True)
+class QueryDescriptor:
+    """Everything a worker needs to rebuild one query's pipeline."""
+
+    table_path: str            # absolute table directory
+    version: int | None        # pinned generation (None = legacy manifest)
+    verify_checksums: bool     # match the driver's open
+    cache_bytes: int           # per-worker chunk-cache budget (0 = none)
+    n_rows: int                # drift guard: snapshot row count
+    n_granules: int            # drift guard: snapshot granule count
+    plan: dict                 # Plan.to_json() (carries the pushdown expr)
+    prune: bool
+    pushdown: bool
+    on_corruption: str         # "raise" | "skip"
+    io_retries: int
+
+    def to_json(self) -> dict:
+        """A JSON-able dict (also the pickled pipe payload)."""
+        return {
+            "v": DESCRIPTOR_VERSION,
+            "table_path": self.table_path,
+            "version": self.version,
+            "verify_checksums": self.verify_checksums,
+            "cache_bytes": self.cache_bytes,
+            "n_rows": self.n_rows,
+            "n_granules": self.n_granules,
+            "plan": self.plan,
+            "prune": self.prune,
+            "pushdown": self.pushdown,
+            "on_corruption": self.on_corruption,
+            "io_retries": self.io_retries,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "QueryDescriptor":
+        version = obj.get("v")
+        if version != DESCRIPTOR_VERSION:
+            raise ValueError(
+                f"unsupported descriptor version {version!r} "
+                f"(this worker speaks {DESCRIPTOR_VERSION})")
+        return cls(
+            table_path=obj["table_path"],
+            version=obj["version"],
+            verify_checksums=bool(obj["verify_checksums"]),
+            cache_bytes=int(obj["cache_bytes"]),
+            n_rows=int(obj["n_rows"]),
+            n_granules=int(obj["n_granules"]),
+            plan=obj["plan"],
+            prune=bool(obj["prune"]),
+            pushdown=bool(obj["pushdown"]),
+            on_corruption=obj["on_corruption"],
+            io_retries=int(obj["io_retries"]),
+        )
+
+    def build_plan(self) -> Plan:
+        return Plan.from_json(self.plan)
+
+
+def describe_query(plan: Plan, source, *, prune: bool, pushdown: bool,
+                   on_corruption: str, io_retries: int
+                   ) -> QueryDescriptor | None:
+    """Describe ``plan`` over ``source`` for out-of-process execution.
+
+    Returns ``None`` when the source cannot be rebuilt from a path — an
+    in-memory :class:`~repro.exec.source.ArraySource`, a memtable
+    :class:`~repro.exec.source.ChainSource` — in which case the process
+    tier falls back to running the driver's closure on its lane threads
+    (thread-tier semantics, still correct).
+    """
+    wire = getattr(source, "wire_descriptor", None)
+    if not callable(wire):
+        return None
+    base = wire()
+    if base is None:
+        return None
+    return QueryDescriptor(
+        plan=plan.to_json(), prune=prune, pushdown=pushdown,
+        on_corruption=on_corruption, io_retries=io_retries, **base)

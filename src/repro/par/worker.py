@@ -1,0 +1,246 @@
+"""The worker-process side of the process tier: loop, caches, errors.
+
+:func:`worker_main` is the entry point of one long-lived worker.  It
+speaks a tiny length-prefixed pickle protocol over its duplex pipe::
+
+    ("task", seq, desc_id, desc_json | None, granule_index)   # driver →
+    ("ok",  seq, _Partial)                                    # ← worker
+    ("err", seq, error_envelope_dict)                         # ← worker
+    ("needdesc", seq, None)                                   # ← worker
+    ("ping", seq) / ("pong", seq)                             # liveness
+    ("exit",)                                                 # driver →
+
+``desc_json`` rides along only the first time a lane sees a descriptor
+(and again after a respawn); afterwards ``desc_id`` alone names the
+cached, already-validated :class:`~repro.exec.run.GranulePipeline`.
+When enough concurrent queries thrash the pipeline LRU that a bare
+``desc_id`` no longer resolves, the worker answers ``needdesc`` and
+the driver re-dispatches the granule with the descriptor attached —
+eviction costs one round-trip, never a wrong answer.
+Tables are opened lazily, read-only, via mmap — the OS page cache is
+shared between workers, so N workers do not read the bytes N times.
+
+Exceptions cannot cross the pipe as-is (the exec error types take
+keyword-only constructor context, which default pickling loses), so
+:func:`encode_error` flattens them into plain dicts and
+:func:`revive_error` rebuilds the *same* typed exception driver-side —
+a worker-side :class:`~repro.exec.errors.CorruptChunkError` or
+:class:`~repro.exec.errors.GranuleError` surfaces to callers exactly
+like its in-process twin.
+
+Fault injection: the loop fires the ``granule.exec`` hook before each
+granule.  A ``crash`` rule there calls ``os._exit`` — the worker
+*really* dies mid-granule, so the crash matrix exercises the driver's
+true death-detection / respawn / retry path, not a simulation of it.
+``fork``-started workers inherit the installed injector; spawned ones
+receive a :meth:`~repro.faults.FaultInjector.to_spec` dict.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import traceback
+from collections import OrderedDict
+
+from repro import faults
+from repro.exec.errors import CorruptChunkError, GranuleError
+from repro.exec.run import GranulePipeline, _Partial
+from repro.faults import FaultInjector, SimulatedCrash
+from repro.par.descriptor import QueryDescriptor
+
+__all__ = ["CRASH_EXIT_CODE", "NeedDescriptor", "WorkerState",
+           "encode_error", "revive_error", "worker_main"]
+
+#: exit status of a worker killed by an injected ``granule.exec`` crash
+CRASH_EXIT_CODE = 113
+
+#: prepared pipelines kept per worker (descriptors are per-query, so
+#: this bounds memory across many concurrent queries, LRU)
+MAX_CACHED_PIPELINES = 16
+
+
+class NeedDescriptor(Exception):
+    """A bare ``desc_id`` no longer resolves (evicted from the pipeline
+    LRU under many concurrent queries); the driver must resend it."""
+
+    def __init__(self, desc_id: int):
+        super().__init__(f"descriptor {desc_id} not cached")
+        self.desc_id = desc_id
+
+
+# ----------------------------------------------------------- error wire
+def encode_error(err: BaseException) -> dict:
+    """Flatten an exception into a picklable/JSON-able envelope."""
+    if isinstance(err, GranuleError):
+        return {
+            "kind": "granule",
+            "message": str(err),
+            "granule": err.granule,
+            "shard": err.shard,
+            "column": err.column,
+            "cause": encode_error(err.cause),
+        }
+    if isinstance(err, CorruptChunkError):
+        return {
+            "kind": "corrupt",
+            "message": str(err),
+            "file": err.file,
+            "column": err.column,
+            "row_start": err.row_start,
+            "n_rows": err.n_rows,
+        }
+    return {
+        "kind": "other",
+        "type": type(err).__name__,
+        "message": str(err),
+        "traceback": "".join(traceback.format_exception(err))[-2000:],
+    }
+
+
+def revive_error(info: dict, granule_index: int) -> BaseException:
+    """Rebuild the typed exception a worker shipped as an envelope.
+
+    The exec error types carry keyword-only context appended into their
+    message by ``__init__``; reviving through ``__new__`` + attribute
+    assignment preserves the worker's exact message without
+    double-rendering that suffix.
+    """
+    kind = info.get("kind")
+    if kind == "corrupt":
+        err = CorruptChunkError.__new__(CorruptChunkError)
+        ValueError.__init__(err, info["message"])
+        err.file = info.get("file")
+        err.column = info.get("column")
+        err.row_start = info.get("row_start")
+        err.n_rows = info.get("n_rows")
+        return err
+    if kind == "granule":
+        gerr = GranuleError.__new__(GranuleError)
+        RuntimeError.__init__(gerr, info["message"])
+        gerr.granule = info.get("granule", granule_index)
+        gerr.shard = info.get("shard")
+        gerr.column = info.get("column")
+        gerr.cause = revive_error(info.get("cause") or {}, granule_index)
+        gerr.__cause__ = gerr.cause
+        return gerr
+    # protocol-level worker failures (generation drift, bad descriptor,
+    # unexpected exceptions outside the pipeline) arrive typed too
+    cause = RuntimeError(
+        f"{info.get('type', 'Error')}: {info.get('message', '')}")
+    return GranuleError(cause, granule=granule_index)
+
+
+# -------------------------------------------------------- worker caches
+class WorkerState:
+    """Per-process lazy caches: open tables and prepared pipelines."""
+
+    def __init__(self, max_pipelines: int = MAX_CACHED_PIPELINES):
+        self.max_pipelines = max_pipelines
+        self._sources: dict[tuple, object] = {}
+        self._pipelines: OrderedDict[int, tuple] = OrderedDict()
+
+    def _source_for(self, desc: QueryDescriptor):
+        key = (desc.table_path, desc.version, desc.verify_checksums,
+               desc.cache_bytes)
+        source = self._sources.get(key)
+        if source is None:
+            from repro.store.executor import StoreSource
+            from repro.store.table import Table
+
+            table = Table.open(desc.table_path, version=desc.version,
+                               verify_checksums=desc.verify_checksums,
+                               cache_bytes=desc.cache_bytes)
+            source = StoreSource(table)
+            self._sources[key] = source
+        return source
+
+    def pipeline_for(self, desc_id: int, desc: QueryDescriptor | None):
+        """The prepared (pipeline, source) for ``desc_id``, building it
+        from ``desc`` on first sight.  A miss with ``desc=None`` raises
+        :class:`NeedDescriptor` — the driver thinks this lane has the
+        pipeline but the LRU evicted it, so ask for a resend."""
+        entry = self._pipelines.get(desc_id)
+        if entry is not None:
+            self._pipelines.move_to_end(desc_id)
+            return entry
+        if desc is None:
+            raise NeedDescriptor(desc_id)
+        source = self._source_for(desc)
+        if source.n_rows != desc.n_rows or \
+                len(source.granules()) != desc.n_granules:
+            raise RuntimeError(
+                f"generation drift: descriptor pinned "
+                f"{desc.table_path!r} version={desc.version} with "
+                f"{desc.n_rows} rows / {desc.n_granules} granules, "
+                f"worker opened {source.n_rows} rows / "
+                f"{len(source.granules())} granules")
+        pipeline = GranulePipeline(
+            desc.build_plan(), source, prune=desc.prune,
+            pushdown=desc.pushdown, on_corruption=desc.on_corruption,
+            io_retries=desc.io_retries)
+        self._pipelines[desc_id] = entry = (pipeline, source)
+        while len(self._pipelines) > self.max_pipelines:
+            self._pipelines.popitem(last=False)
+        return entry
+
+    def run_granule(self, desc_id: int, desc: QueryDescriptor | None,
+                    granule_index: int) -> _Partial | None:
+        pipeline, source = self.pipeline_for(desc_id, desc)
+        granules = source.granules()
+        if not 0 <= granule_index < len(granules):
+            raise RuntimeError(
+                f"granule index {granule_index} out of range "
+                f"(worker sees {len(granules)} granules)")
+        # the crash-matrix hook: a crash rule here kills the *process*
+        faults.fire("granule.exec", granule=granule_index,
+                    table=os.path.basename(
+                        getattr(source.table, "path", "")))
+        return pipeline.run(granules[granule_index])
+
+
+# ----------------------------------------------------------- main loop
+def worker_main(conn, fault_spec: dict | None = None) -> None:
+    """Run one worker process until ``("exit",)`` or pipe EOF."""
+    if fault_spec is not None and faults.active() is None:
+        faults.install(FaultInjector.from_spec(fault_spec))
+    state = WorkerState()
+    while True:
+        try:
+            raw = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        request = pickle.loads(raw)
+        op = request[0]
+        if op == "exit":
+            break
+        if op == "ping":
+            conn.send_bytes(pickle.dumps(("pong", request[1])))
+            continue
+        _, seq, desc_id, desc_json, granule_index = request
+        try:
+            desc = None if desc_json is None else \
+                QueryDescriptor.from_json(desc_json)
+            part = state.run_granule(desc_id, desc, granule_index)
+            response = ("ok", seq, part)
+        except SimulatedCrash:
+            # die for real: no reply, no cleanup — the driver's poll
+            # loop must notice the corpse and respawn the lane
+            os._exit(CRASH_EXIT_CODE)
+        except NeedDescriptor:
+            response = ("needdesc", seq, None)
+        except BaseException as err:  # noqa: BLE001 — everything ships back
+            response = ("err", seq, encode_error(err))
+        try:
+            payload = pickle.dumps(response,
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as err:  # unpicklable partial: report, not hang
+            payload = pickle.dumps(("err", seq, encode_error(err)))
+        try:
+            conn.send_bytes(payload)
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass

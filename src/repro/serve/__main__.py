@@ -43,6 +43,16 @@ def main(argv=None) -> int:
     parser.add_argument("--timeout-s", type=float,
                         default=DEFAULT_TIMEOUT_S,
                         help="default per-request deadline")
+    parser.add_argument("--worker-tier", choices=("thread", "process"),
+                        default="thread",
+                        help="where granules execute: 'thread' (one "
+                             "GIL) or 'process' (N worker processes, "
+                             "true multi-core decode)")
+    parser.add_argument("--start-method", default=None,
+                        choices=("fork", "spawn", "forkserver"),
+                        help="multiprocessing start method for "
+                             "--worker-tier process (default: fork "
+                             "where available)")
     parser.add_argument("--pool-per-query", action="store_true",
                         help="baseline mode: no shared scheduler "
                              "(benchmarks only)")
@@ -65,6 +75,8 @@ def main(argv=None) -> int:
         cache_bytes=int(args.cache_mb * (1 << 20)),
         default_timeout_s=args.timeout_s,
         shared=not args.pool_per_query,
+        worker_tier=args.worker_tier,
+        start_method=args.start_method,
         metrics_port=args.metrics_port,
         slow_query_ms=args.slow_query_ms,
         slow_query_log=args.slow_query_log)

@@ -90,6 +90,9 @@ class TableServer:
     morsel scheduler; ``shared=False`` is the pool-per-query baseline
     (each request spins its own executor pool) that
     ``benchmarks/bench_serve.py`` measures the scheduler against.
+    ``worker_tier="process"`` swaps the shared scheduler for a
+    :class:`repro.par.ProcessScheduler` — granule decode runs in worker
+    processes, escaping the GIL on multi-core boxes.
     """
 
     def __init__(self, root: str, host: str = "127.0.0.1", port: int = 0,
@@ -98,22 +101,38 @@ class TableServer:
                  cache_bytes: int = DEFAULT_CAPACITY_BYTES,
                  default_timeout_s: float = DEFAULT_TIMEOUT_S,
                  shared: bool = True,
+                 worker_tier: str = "thread",
+                 start_method: str | None = None,
                  metrics_port: int | None = None,
                  slow_query_ms: float | None = None,
                  slow_query_log: str | None = None):
+        if worker_tier not in ("thread", "process"):
+            raise ValueError(f"worker_tier must be 'thread' or "
+                             f"'process', got {worker_tier!r}")
         self.root = root
         self.default_timeout_s = default_timeout_s
         self.shared = shared
+        self.worker_tier = worker_tier
         # slow-query log: when a threshold is set, every query runs
         # traced (that is the opt-in cost) and offenders are appended
         # as JSONL — plan, explain, and the full trace
         self.slow_query_ms = slow_query_ms
         self.slow_query_log = slow_query_log
         self._slow_lock = threading.Lock()
-        self.scheduler = MorselScheduler(
-            workers=workers, policy=policy, max_inflight=max_inflight,
-            queue_depth=queue_depth, name="repro-serve") if shared \
-            else None
+        if not shared:
+            self.scheduler = None
+        elif worker_tier == "process":
+            from repro.par import ProcessScheduler
+
+            self.scheduler = ProcessScheduler(
+                workers=workers, policy=policy,
+                max_inflight=max_inflight, queue_depth=queue_depth,
+                start_method=start_method, name="repro-serve")
+        else:
+            self.scheduler = MorselScheduler(
+                workers=workers, policy=policy,
+                max_inflight=max_inflight, queue_depth=queue_depth,
+                name="repro-serve")
         self._baseline_threads = workers
         self.cache = ChunkCache(cache_bytes)
         self._tables: dict[str, tuple[Table, StoreSource]] = {}

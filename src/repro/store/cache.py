@@ -21,6 +21,7 @@ snapshot.
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
@@ -30,8 +31,11 @@ from repro.obs import metrics as obs_metrics
 DEFAULT_CAPACITY_BYTES = 64 << 20
 
 # process-wide cache metrics: every ChunkCache instance charges the same
-# series (an operator wants total cache pressure, not per-instance); the
-# gauges track the most recently mutated instance
+# series (an operator wants total cache pressure, not per-instance).
+# Counters simply sum; the gauges are *function-backed* — rendered as
+# the sum over every live cache instance, so N open tables (or serve +
+# per-worker caches) no longer clobber each other last-writer-wins,
+# and the hot path pays no per-insert gauge writes at all.
 _M_LOOKUPS = obs_metrics.counter(
     "repro_cache_lookups_total", "chunk cache lookups by outcome",
     labels=("outcome",))
@@ -40,9 +44,28 @@ _M_MISS = _M_LOOKUPS.labels(outcome="miss")
 _M_EVICTIONS = obs_metrics.counter(
     "repro_cache_evictions_total", "chunk cache entries evicted")
 _M_USED = obs_metrics.gauge(
-    "repro_cache_used_bytes", "stored chunk bytes held by the cache")
+    "repro_cache_used_bytes",
+    "stored chunk bytes held across all live caches")
 _M_ENTRIES = obs_metrics.gauge(
-    "repro_cache_entries", "entries held by the cache")
+    "repro_cache_entries", "entries held across all live caches")
+
+_LIVE_LOCK = threading.Lock()
+_LIVE_CACHES: "weakref.WeakSet[ChunkCache]" = weakref.WeakSet()
+
+
+def _sum_live(attr: str) -> int:
+    with _LIVE_LOCK:
+        caches = list(_LIVE_CACHES)
+    total = 0
+    for cache in caches:
+        with cache._lock:
+            total += cache._used_bytes if attr == "bytes" \
+                else len(cache._entries)
+    return total
+
+
+_M_USED.set_function(lambda: _sum_live("bytes"))
+_M_ENTRIES.set_function(lambda: _sum_live("entries"))
 
 
 class ChunkCache:
@@ -58,6 +81,8 @@ class ChunkCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        with _LIVE_LOCK:
+            _LIVE_CACHES.add(self)
 
     def __len__(self) -> int:
         with self._lock:
@@ -108,8 +133,6 @@ class ChunkCache:
                 self._entries[key] = (value, nbytes)
                 self._used_bytes += nbytes
                 evicted = self._evict_locked()
-                _M_USED.set(self._used_bytes)
-                _M_ENTRIES.set(len(self._entries))
         if evicted:
             _M_EVICTIONS.inc(evicted)
         return value, False, evicted
@@ -127,5 +150,3 @@ class ChunkCache:
         with self._lock:
             self._entries.clear()
             self._used_bytes = 0
-            _M_USED.set(0)
-            _M_ENTRIES.set(0)

@@ -165,6 +165,24 @@ class StoreSource(ColumnSource):
     def describe(self) -> str:
         return f"store:{self.table.path}"
 
+    def wire_descriptor(self) -> dict:
+        """The fields a :class:`repro.par.QueryDescriptor` needs to
+        rebuild this exact snapshot in a worker process: the table
+        directory plus the pinned generation (``None`` pins a legacy
+        single-manifest table, which has no ``CURRENT`` chain), and the
+        row/granule counts the worker cross-checks against its own open
+        to detect generation drift before running anything."""
+        generation = self.table.generation
+        return {
+            "table_path": os.path.abspath(self.table.path),
+            "version": generation if generation else None,
+            "verify_checksums": self.table.verify_checksums,
+            "cache_bytes": self.table.cache.capacity_bytes
+            if self.table.cache is not None else 0,
+            "n_rows": self.table.n_rows,
+            "n_granules": len(self._granules),
+        }
+
 
 def run_scan(table, projection: tuple[str, ...],
              where: tuple[str, int, int] | None, prune: bool,

@@ -1,0 +1,588 @@
+"""Tests for ``repro.par`` — the process-tier worker pool (PR 9).
+
+Seven suites:
+
+* **descriptors** — :class:`QueryDescriptor` round-trips JSON and
+  pickle losslessly, rejects foreign versions, and refuses sources
+  that cannot be rebuilt from a path;
+* **worker path property** (hypothesis) — for every integer codec in
+  the registry, a plan's pushdown expression survives the real wire
+  (``to_json`` → ``json`` → ``pickle`` → ``from_json`` →
+  :meth:`WorkerState.run_granule`) with row-for-row identical results
+  vs in-process execution;
+* **process equivalence** — filters, naive mode, grouped aggregates,
+  joins, deletion-vector snapshots and in-memory fallback all return
+  the serial answers through a real :class:`ProcessScheduler`;
+* the **crash matrix** — an injected ``granule.exec`` crash (a real
+  ``os._exit`` mid-granule) is detected, the lane respawns, the granule
+  retries once and the query completes with exact rows; a granule that
+  kills every worker surfaces a typed :class:`GranuleError`, never a
+  hang; ``SIGKILL`` from outside behaves the same; a timed-out query
+  abandons its granules and the *next* query on the same lanes is
+  correct (stale results are discarded, not misattributed);
+* **shared scheduler config** — ``REPRO_THREADS`` and
+  :func:`configure_shared_scheduler` precedence, including swapping the
+  process-wide pool to the process tier and back;
+* **cache gauges** — ``repro_cache_used_bytes`` / ``repro_cache_entries``
+  aggregate over every live cache at render time (no last-writer-wins
+  clobbering), and function-backed gauges refuse direct mutation;
+* **serve integration** — a :class:`TableServer` on
+  ``worker_tier="process"`` answers over real sockets with the same
+  rows as in-process execution.
+"""
+
+import json
+import multiprocessing
+import os
+import pickle
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the CI image
+    HAVE_HYPOTHESIS = False
+
+from repro import codecs, faults
+from repro.datasets import sensor_fixture
+from repro.exec import (
+    ArraySource,
+    ExecTimeout,
+    GranuleError,
+    Plan,
+    ServerBusy,
+    col,
+)
+from repro.exec.errors import CorruptChunkError
+from repro.exec.pool import (
+    THREADS_ENV,
+    configure_shared_scheduler,
+    shared_scheduler,
+)
+from repro.exec.run import execute
+from repro.faults import FaultInjector
+from repro.mutate import MutableTable
+from repro.obs.metrics import parse_text, render_text
+from repro.par import (
+    DESCRIPTOR_VERSION,
+    ProcessScheduler,
+    QueryDescriptor,
+    WorkerState,
+    default_start_method,
+    describe_query,
+)
+from repro.par.worker import NeedDescriptor, encode_error, revive_error
+from repro.serve import ServeClient, TableServer
+from repro.store import Table, write_table
+from repro.store.cache import ChunkCache
+from repro.store.executor import StoreSource
+
+INT_CODECS = [n for n in codecs.available()
+              if codecs.info(n).supports_integers]
+
+
+# ------------------------------------------------------------- fixtures
+@pytest.fixture(autouse=True)
+def _no_leaked_injector():
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+@pytest.fixture(scope="module")
+def root(tmp_path_factory):
+    """A serve-able root holding one store table, 'events'."""
+    directory = tmp_path_factory.mktemp("par_root")
+    write_table(str(directory / "events"), sensor_fixture(6000),
+                shard_rows=1500, chunk_rows=256)
+    return str(directory)
+
+
+@pytest.fixture(scope="module")
+def source(root):
+    with Table.open(os.path.join(root, "events")) as table:
+        yield StoreSource(table)
+
+
+@pytest.fixture(scope="module")
+def sched():
+    """One module-wide process scheduler (start method honours
+    ``REPRO_PAR_START_METHOD`` so CI runs the suite under both)."""
+    scheduler = ProcessScheduler(workers=2, name="par-tests")
+    yield scheduler
+    scheduler.close()
+
+
+FILTER_PLAN = (Plan.scan(["ts", "sensor_id", "reading"])
+               .where(col("reading").between(950, 1100)
+                      & (col("status") <= 1)))
+
+
+def _assert_rows_equal(got, expected):
+    assert np.array_equal(got.row_ids, expected.row_ids)
+    assert set(got.columns) == set(expected.columns)
+    for name in expected.columns:
+        assert np.array_equal(np.asarray(got.columns[name]),
+                              np.asarray(expected.columns[name])), name
+
+
+def _merge_partials(parts, names):
+    empty = np.empty(0, dtype=np.int64)
+    row_ids = np.concatenate([p.row_ids for p in parts]) \
+        if parts else empty
+    columns = {
+        name: np.concatenate([np.asarray(p.columns[name]) for p in parts])
+        if parts else empty.copy()
+        for name in names
+    }
+    return row_ids, columns
+
+
+# ===================================================================
+# descriptors
+# ===================================================================
+class TestDescriptor:
+    def test_json_and_pickle_round_trip(self, source):
+        desc = describe_query(FILTER_PLAN, source, prune=True,
+                              pushdown=True, on_corruption="raise",
+                              io_retries=2)
+        assert desc is not None
+        assert desc.version == (source.table.generation or None)
+        assert desc.n_granules == len(source.granules())
+        wire = json.loads(json.dumps(desc.to_json()))
+        wire = pickle.loads(pickle.dumps(
+            wire, protocol=pickle.HIGHEST_PROTOCOL))
+        assert wire["v"] == DESCRIPTOR_VERSION
+        revived = QueryDescriptor.from_json(wire)
+        assert revived == desc
+        assert revived.build_plan().to_json() == FILTER_PLAN.to_json()
+
+    def test_foreign_version_is_refused(self, source):
+        desc = describe_query(FILTER_PLAN, source, prune=True,
+                              pushdown=True, on_corruption="raise",
+                              io_retries=2)
+        wire = desc.to_json()
+        wire["v"] = DESCRIPTOR_VERSION + 1
+        with pytest.raises(ValueError, match="descriptor version"):
+            QueryDescriptor.from_json(wire)
+
+    def test_memory_sources_are_not_describable(self):
+        array = ArraySource({"v": np.arange(100)}, morsel_rows=10)
+        desc = describe_query(Plan.scan(["v"]), array, prune=True,
+                              pushdown=True, on_corruption="raise",
+                              io_retries=2)
+        assert desc is None
+
+    def test_fault_spec_round_trip(self):
+        inj = FaultInjector(seed=7)
+        inj.crash_at("granule.exec", at=2)
+        inj.slow_at("io.read", delay_s=0.5, times=3)
+        spec = json.loads(json.dumps(inj.to_spec()))
+        clone = FaultInjector.from_spec(spec)
+        assert clone.to_spec() == inj.to_spec()
+
+    def test_error_envelopes_revive_typed(self):
+        cause = CorruptChunkError("checksum mismatch", file="s0.bin",
+                                  column="v", row_start=32, n_rows=16)
+        err = GranuleError(cause, granule=3, shard="s0.bin", column="v")
+        revived = revive_error(
+            pickle.loads(pickle.dumps(encode_error(err))), 3)
+        assert isinstance(revived, GranuleError)
+        assert str(revived) == str(err)
+        assert (revived.granule, revived.shard, revived.column) == \
+            (3, "s0.bin", "v")
+        assert isinstance(revived.cause, CorruptChunkError)
+        assert str(revived.cause) == str(cause)
+        assert revived.cause.row_start == 32
+        other = revive_error(pickle.loads(pickle.dumps(
+            encode_error(RuntimeError("generation drift")))), 5)
+        assert isinstance(other, GranuleError)
+        assert other.granule == 5
+        assert "generation drift" in str(other)
+
+
+# ===================================================================
+# worker path property (hypothesis)
+# ===================================================================
+if HAVE_HYPOTHESIS:
+    class TestWorkerPathProperty:
+        """The real wire — descriptor JSON through json+pickle into
+        :meth:`WorkerState.run_granule` — is row-for-row identical to
+        in-process execution, for every integer codec."""
+
+        @pytest.mark.parametrize("codec", INT_CODECS)
+        @given(data=st.data())
+        @settings(max_examples=4, deadline=None)
+        def test_worker_matches_in_process(self, codec,
+                                           tmp_path_factory, data):
+            raw = data.draw(st.lists(
+                st.integers(-(1 << 40), 1 << 40), min_size=1,
+                max_size=300))
+            values = np.array(raw, dtype=np.int64)
+            if codecs.info(codec).requires_sorted:
+                values = np.sort(np.abs(values))
+            columns = {"v": values,
+                       "w": np.arange(len(values), dtype=np.int64)}
+            a = data.draw(st.integers(-(1 << 41), 1 << 41))
+            b = data.draw(st.integers(-(1 << 41), 1 << 41))
+            expr = col("v").between(min(a, b), max(a, b))
+            pivot = data.draw(st.integers(0, max(len(values) - 1, 0)))
+            other = col("w") >= pivot
+            expr = (expr | other) if data.draw(st.booleans()) \
+                else (expr & other)
+            plan = Plan.scan(["v", "w"]).where(expr)
+
+            path = str(tmp_path_factory.mktemp("wprop") / "t")
+            write_table(path, columns, codec=codec, shard_rows=64,
+                        chunk_rows=16)
+            with Table.open(path) as table:
+                src = StoreSource(table)
+                expected = plan.execute(src, threads=1)
+                desc = describe_query(plan, src, prune=True,
+                                      pushdown=True,
+                                      on_corruption="raise",
+                                      io_retries=2)
+                wire = pickle.loads(pickle.dumps(
+                    json.loads(json.dumps(desc.to_json())),
+                    protocol=pickle.HIGHEST_PROTOCOL))
+                revived = QueryDescriptor.from_json(wire)
+                assert revived == desc
+
+                state = WorkerState()
+                parts = []
+                for index in range(len(src.granules())):
+                    part = state.run_granule(
+                        1, revived if index == 0 else None, index)
+                    if part is not None:
+                        parts.append(part)
+            row_ids, cols = _merge_partials(parts, ("v", "w"))
+            assert np.array_equal(row_ids, expected.row_ids)
+            for name in ("v", "w"):
+                assert np.array_equal(cols[name],
+                                      expected.columns[name]), name
+
+
+# ===================================================================
+# process equivalence
+# ===================================================================
+class TestProcessEquivalence:
+    def test_filter_scan_matches(self, source, sched):
+        expected = FILTER_PLAN.execute(source, threads=1)
+        got = FILTER_PLAN.execute(source, scheduler=sched)
+        assert len(expected.row_ids) > 0
+        _assert_rows_equal(got, expected)
+
+    def test_naive_mode_matches(self, source, sched):
+        expected = FILTER_PLAN.execute(source, threads=1)
+        got = FILTER_PLAN.execute(source, scheduler=sched,
+                                  prune=False, pushdown=False)
+        _assert_rows_equal(got, expected)
+
+    def test_grouped_aggregate_matches(self, source, sched):
+        plan = (Plan.scan()
+                .where(col("status") <= 1)
+                .aggregate({"n": ("count", "reading"),
+                            "avg_reading": ("avg", "reading"),
+                            "max_ts": ("max", "ts")},
+                           group_by="sensor_id"))
+        expected = plan.execute(source, threads=1)
+        got = plan.execute(source, scheduler=sched)
+        assert got.groups == expected.groups
+        assert len(got.groups) > 1
+
+    def test_join_matches(self, source, sched):
+        plan = (Plan.scan(["ts", "sensor_id"])
+                .where(col("reading") >= 1000)
+                .join(on="sensor_id",
+                      build={"sensor_id": [0, 1, 2, 3],
+                             "zone": [10, 11, 12, 13]}))
+        expected = plan.execute(source, threads=1)
+        got = plan.execute(source, scheduler=sched)
+        _assert_rows_equal(got, expected)
+
+    def test_deletion_vector_snapshot_matches(self, tmp_path, sched):
+        with MutableTable.create(str(tmp_path / "mt"),
+                                 schema=("k", "v"), shard_rows=200,
+                                 chunk_rows=50) as table:
+            table.append({"k": np.arange(1000),
+                          "v": np.arange(1000) * 3})
+            table.flush()
+            assert table.delete(col("k").between(100, 399)) == 299
+            table.flush()
+            with table.snapshot() as snap:
+                src = StoreSource(snap)
+                plan = Plan.scan(["k", "v"]).where(col("v") >= 30)
+                expected = plan.execute(src, threads=1)
+                got = plan.execute(src, scheduler=sched)
+                # the DV bitmap is re-derived worker-side from the
+                # pinned generation, never shipped
+                assert len(expected.row_ids) == 691
+                _assert_rows_equal(got, expected)
+
+    def test_memory_source_falls_back_in_driver(self, sched):
+        array = ArraySource(
+            {"v": np.arange(5000, dtype=np.int64),
+             "w": (np.arange(5000, dtype=np.int64) * 7) % 101},
+            morsel_rows=512)
+        plan = Plan.scan(["v", "w"]).where(col("w") <= 50)
+        expected = plan.execute(array, threads=1)
+        got = plan.execute(array, scheduler=sched)
+        _assert_rows_equal(got, expected)
+
+    def test_evicted_descriptor_asks_for_resend(self, source):
+        desc = describe_query(FILTER_PLAN, source, prune=True,
+                              pushdown=True, on_corruption="raise",
+                              io_retries=2)
+        state = WorkerState(max_pipelines=1)
+        state.run_granule(1, desc, 0)
+        state.run_granule(2, desc, 0)  # evicts pipeline 1
+        with pytest.raises(NeedDescriptor):
+            state.run_granule(1, None, 0)
+        # resending the descriptor recovers
+        assert state.run_granule(1, desc, 0) is not None
+
+    def test_concurrent_queries_thrash_pipeline_lru(self, source):
+        """More concurrent queries than MAX_CACHED_PIPELINES on one
+        lane: interleaved granules keep evicting each other's cached
+        pipelines, so the needdesc/resend path must carry every query
+        to the exact in-process answer."""
+        expected = FILTER_PLAN.execute(source, threads=1)
+        one_lane = ProcessScheduler(workers=1, name="par-thrash")
+        results: list = [None] * 20
+        errors: list = []
+
+        def query(idx: int) -> None:
+            try:
+                results[idx] = FILTER_PLAN.execute(source,
+                                                   scheduler=one_lane)
+            except BaseException as err:
+                errors.append(err)
+
+        try:
+            threads = [threading.Thread(target=query, args=(i,))
+                       for i in range(len(results))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errors == []
+            for got in results:
+                _assert_rows_equal(got, expected)
+        finally:
+            one_lane.close()
+
+    def test_stats_report_the_tier(self, sched):
+        stats = sched.stats()
+        assert stats["tier"] == "process"
+        assert stats["workers"] == 2
+        assert stats["start_method"] == default_start_method()
+        assert stats["workers_alive"] == 2
+
+    def test_explicit_spawn_scheduler(self, source):
+        expected = FILTER_PLAN.execute(source, threads=1)
+        spawn_sched = ProcessScheduler(workers=1, start_method="spawn",
+                                       name="par-spawn")
+        try:
+            got = FILTER_PLAN.execute(source, scheduler=spawn_sched)
+            _assert_rows_equal(got, expected)
+            assert spawn_sched.stats()["start_method"] == "spawn"
+        finally:
+            spawn_sched.close()
+
+    def test_admission_control_still_applies(self, root):
+        inj = FaultInjector()
+        inj.slow_at("granule.exec", delay_s=1.5, times=1)
+        bounded = ProcessScheduler(workers=1, max_inflight=1,
+                                   queue_depth=0, name="par-bounded",
+                                   fault_spec=inj.to_spec())
+        plan = Plan.scan(["ts"]).where(col("status") == 0)
+        errors = []
+
+        def first_query():
+            with Table.open(os.path.join(root, "events")) as table:
+                try:
+                    execute(plan, StoreSource(table), scheduler=bounded)
+                except BaseException as err:  # pragma: no cover
+                    errors.append(err)
+
+        thread = threading.Thread(target=first_query)
+        try:
+            thread.start()
+            time.sleep(0.4)
+            with Table.open(os.path.join(root, "events")) as table:
+                with pytest.raises(ServerBusy):
+                    execute(plan, StoreSource(table), scheduler=bounded)
+        finally:
+            thread.join()
+            bounded.close()
+        assert errors == []
+
+
+# ===================================================================
+# crash matrix
+# ===================================================================
+class TestCrashMatrix:
+    def test_injected_crash_respawns_and_retries(self, source):
+        expected = FILTER_PLAN.execute(source, threads=1)
+        inj = FaultInjector()
+        inj.crash_at("granule.exec", at=2)
+        crashy = ProcessScheduler(workers=1, name="par-crash",
+                                  fault_spec=inj.to_spec())
+        try:
+            got = FILTER_PLAN.execute(source, scheduler=crashy)
+            _assert_rows_equal(got, expected)
+            assert crashy.respawns >= 1
+            assert crashy.stats()["workers_alive"] == 1
+        finally:
+            crashy.close()
+
+    def test_persistent_crash_is_a_typed_error(self, source):
+        inj = FaultInjector()
+        inj._add("granule.exec", "crash", 1, None)  # every attempt dies
+        doomed = ProcessScheduler(workers=1, name="par-doomed",
+                                  fault_spec=inj.to_spec())
+        try:
+            with pytest.raises(GranuleError, match="died twice"):
+                FILTER_PLAN.execute(source, scheduler=doomed)
+        finally:
+            doomed.close()
+
+    def test_external_sigkill_recovers(self, source):
+        expected = FILTER_PLAN.execute(source, threads=1)
+        victim = ProcessScheduler(workers=1, name="par-kill")
+        try:
+            got = FILTER_PLAN.execute(source, scheduler=victim)
+            _assert_rows_equal(got, expected)
+            proc = victim._lanes[0].proc
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join(timeout=10)
+            got = FILTER_PLAN.execute(source, scheduler=victim)
+            _assert_rows_equal(got, expected)
+            assert victim.respawns >= 1
+        finally:
+            victim.close()
+
+    def test_timeout_abandons_without_poisoning_lanes(self, source):
+        expected = FILTER_PLAN.execute(source, threads=1)
+        inj = FaultInjector()
+        inj.slow_at("granule.exec", delay_s=0.6, times=2)
+        slow = ProcessScheduler(workers=1, name="par-slow",
+                                fault_spec=inj.to_spec())
+        try:
+            with pytest.raises(ExecTimeout):
+                FILTER_PLAN.execute(source, scheduler=slow,
+                                    timeout_s=0.15)
+            # the abandoned granules' late results must be discarded by
+            # sequence number, not misattributed to the next query
+            got = FILTER_PLAN.execute(source, scheduler=slow)
+            _assert_rows_equal(got, expected)
+        finally:
+            slow.close()
+
+
+# ===================================================================
+# shared scheduler configuration
+# ===================================================================
+class TestSharedSchedulerConfig:
+    def test_env_and_explicit_precedence(self, monkeypatch):
+        try:
+            monkeypatch.setenv(THREADS_ENV, "3")
+            assert configure_shared_scheduler().workers == 3
+            assert shared_scheduler().workers == 3
+            # configure > env
+            assert configure_shared_scheduler(workers=2).workers == 2
+        finally:
+            monkeypatch.delenv(THREADS_ENV, raising=False)
+            configure_shared_scheduler()
+
+    def test_invalid_env_value_is_loud(self, monkeypatch):
+        for bad in ("zero", "0", "-4"):
+            monkeypatch.setenv(THREADS_ENV, bad)
+            with pytest.raises(ValueError, match=THREADS_ENV):
+                configure_shared_scheduler()
+        monkeypatch.delenv(THREADS_ENV, raising=False)
+        configure_shared_scheduler()
+
+    def test_invalid_tier_is_loud(self):
+        with pytest.raises(ValueError, match="tier"):
+            configure_shared_scheduler(tier="fibers")
+
+    def test_process_tier_is_transparent(self, source):
+        expected = FILTER_PLAN.execute(source, threads=1)
+        try:
+            fresh = configure_shared_scheduler(workers=1,
+                                               tier="process")
+            assert fresh.tier == "process"
+            # auto-threaded execute: no scheduler argument at all
+            got = FILTER_PLAN.execute(source)
+            _assert_rows_equal(got, expected)
+        finally:
+            assert configure_shared_scheduler().tier == "thread"
+
+
+# ===================================================================
+# cache gauges (aggregate-on-render)
+# ===================================================================
+class TestCacheGauges:
+    def _gauges(self):
+        fams = parse_text(render_text())
+        [(_, _, used)] = fams["repro_cache_used_bytes"]["samples"]
+        [(_, _, entries)] = fams["repro_cache_entries"]["samples"]
+        return used, entries
+
+    def test_gauges_sum_over_live_caches(self):
+        used0, entries0 = self._gauges()
+        first = ChunkCache(capacity_bytes=1 << 20)
+        second = ChunkCache(capacity_bytes=1 << 20)
+        first.get_or_load("a", lambda: "x", 1000)
+        second.get_or_load("b", lambda: "y", 2000)
+        second.get_or_load("c", lambda: "z", 4000)
+        used1, entries1 = self._gauges()
+        # two instances add up instead of clobbering each other
+        assert used1 - used0 == 7000
+        assert entries1 - entries0 == 3
+        first.clear()
+        used2, entries2 = self._gauges()
+        assert used2 - used0 == 6000
+        assert entries2 - entries0 == 2
+
+    def test_function_backed_gauges_refuse_mutation(self):
+        from repro.store.cache import _M_ENTRIES, _M_USED
+
+        for gauge in (_M_USED, _M_ENTRIES):
+            with pytest.raises(ValueError, match="function-backed"):
+                gauge.set(5)
+            with pytest.raises(ValueError, match="function-backed"):
+                gauge.inc()
+
+
+# ===================================================================
+# serve integration
+# ===================================================================
+class TestServeProcessTier:
+    def test_rejects_unknown_tier(self, root):
+        with pytest.raises(ValueError, match="worker_tier"):
+            TableServer(root, worker_tier="bogus")
+
+    def test_process_tier_end_to_end(self, root, source):
+        expected = FILTER_PLAN.execute(source, threads=1)
+        srv = TableServer(root, workers=1, worker_tier="process",
+                          max_inflight=2, queue_depth=2).start()
+        host, port = srv.address
+        try:
+            with ServeClient(host, port) as client:
+                result = client.query("events", FILTER_PLAN)
+            assert result["n_rows"] == len(expected.row_ids)
+            assert np.array_equal(result["row_ids"], expected.row_ids)
+            for name in expected.columns:
+                assert np.array_equal(result["columns"][name],
+                                      expected.columns[name]), name
+        finally:
+            srv.shutdown()
