@@ -72,9 +72,11 @@ class _Job:
     """One query's granule work registered with the scheduler."""
 
     __slots__ = ("fn", "queue", "results", "outstanding", "failure",
-                 "cancel", "deadline", "done", "executed", "descriptor")
+                 "cancel", "deadline", "done", "executed", "descriptor",
+                 "trace", "t_enqueued")
 
-    def __init__(self, fn, items, cancel, deadline, descriptor=None):
+    def __init__(self, fn, items, cancel, deadline, descriptor=None,
+                 trace=None):
         self.fn = fn
         self.queue = deque(enumerate(items))
         self.results = [None] * len(items)
@@ -87,6 +89,10 @@ class _Job:
         # picklable query descriptor for process tiers (None = the job
         # can only run in-driver via ``fn``)
         self.descriptor = descriptor
+        # the query's Trace (or None): process tiers fold worker-side
+        # spans into it as results come off the lane pipes
+        self.trace = trace
+        self.t_enqueued = time.perf_counter()
 
     @property
     def remaining(self) -> int:
@@ -323,7 +329,7 @@ class MorselScheduler:
         items = list(items)
         if not self._admit(deadline, trace):
             return [None] * len(items)  # deadline spent parked: 0/N ran
-        job = _Job(fn, items, cancel, deadline, descriptor)
+        job = _Job(fn, items, cancel, deadline, descriptor, trace)
         try:
             if not items:
                 return []

@@ -268,12 +268,24 @@ class ExecResult:
 
 @dataclass
 class _Partial:
-    """One granule's contribution (rows or aggregate states)."""
+    """One granule's contribution (rows or aggregate states).
+
+    ``spans`` is only populated by a *worker process* running a traced
+    descriptor: a ``(granule_start, granule_end, extra_spans)`` tuple
+    whose timestamps are absolute on the worker's ``perf_counter``
+    clock.  The "granule" span ships as bare timestamps (its attrs
+    are resynthesized driver-side from ``stats``); ``extra_spans`` is
+    ``None`` or raw ``(name, start, end, tid, attrs)`` tuples for the
+    load/filter/... spans of a granule that survived pruning.  The
+    driver re-anchors everything onto the query trace via the lane's
+    handshake epoch (:meth:`repro.obs.Trace.adopt`).
+    """
 
     row_ids: np.ndarray
     columns: dict
     agg: dict | None
     stats: ExecStats = field(default_factory=ExecStats)
+    spans: tuple | None = None
 
 
 _EMPTY = np.empty(0, dtype=np.int64)
@@ -776,7 +788,8 @@ def execute(plan: Plan, source, threads: int | None = None,
 
                 desc = describe_query(
                     plan, source, prune=prune, pushdown=pushdown,
-                    on_corruption=on_corruption, io_retries=io_retries)
+                    on_corruption=on_corruption, io_retries=io_retries,
+                    trace_enabled=trace is not None)
                 if desc is not None:
                     kwargs["descriptor"] = desc
             for part in sched.run_query(run_granule, granules, cancel,

@@ -30,11 +30,20 @@ Contracts:
 labels, values) — the conformance tests round-trip every registered
 instrument through it, so the rendering can never silently drift from
 what a Prometheus scraper would read.
+
+Cross-process merge: :meth:`MetricsRegistry.snapshot` captures every
+local series as a compact picklable dict, :func:`snapshot_delta`
+subtracts two snapshots (counters and histograms as monotonic deltas,
+gauges as last-value), and :meth:`MetricsRegistry.merge` folds a delta
+into this registry under a ``proc`` label — worker processes piggyback
+deltas on their result envelopes and the driver's ``/metrics`` shows
+the whole process tree.
 """
 
 from __future__ import annotations
 
 import bisect
+import os
 import random
 import threading
 
@@ -53,14 +62,24 @@ __all__ = [
     "parse_text",
     "render_text",
     "set_enabled",
+    "snapshot_delta",
 ]
 
 #: default histogram buckets (seconds): sub-ms through tens of seconds
 DEFAULT_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
                    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
 
+
+def _env_disabled() -> bool:
+    """``REPRO_OBS_DISABLED=1`` (or any truthy value) starts the process
+    with instrumentation off — spawn-started workers inherit the flag
+    through their ctor spec, so the kill switch reaches every tier."""
+    raw = os.environ.get("REPRO_OBS_DISABLED", "").strip().lower()
+    return raw not in ("", "0", "false", "no")
+
+
 #: process-wide instrumentation kill switch (see :func:`set_enabled`)
-_ENABLED = True
+_ENABLED = not _env_disabled()
 
 
 def set_enabled(flag: bool) -> None:
@@ -214,6 +233,27 @@ class _HistogramChild:
             cumulative.append(running)
         return cumulative, total, n
 
+    def raw(self) -> tuple[tuple[int, ...], float, int]:
+        """(per-bucket counts incl. +Inf — *not* cumulative, sum, count);
+        the picklable snapshot form, subtractable bucket-wise."""
+        with self._lock:
+            return tuple(self.counts), self.sum, self.count
+
+    def merge(self, counts, total: float, n: int) -> None:
+        """Fold a delta of per-bucket counts/sum/count into this series
+        (the driver-side half of the worker telemetry protocol)."""
+        if not _ENABLED:
+            return
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"histogram merge: bucket count mismatch "
+                f"({len(counts)} != {len(self.counts)})")
+        with self._lock:
+            for i, c in enumerate(counts):
+                self.counts[i] += c
+            self.sum += total
+            self.count += n
+
 
 class _Instrument:
     """Named family of series; :meth:`labels` returns (and memoizes)
@@ -229,6 +269,11 @@ class _Instrument:
         self.labelnames = tuple(labelnames)
         self._lock = threading.Lock()
         self._children: dict[tuple[str, ...], object] = {}
+        # Series merged in from other processes, keyed by the local
+        # label values *plus* the trailing ``proc`` value.  Kept apart
+        # from ``_children`` so local charging, snapshot(), and the
+        # labels() contract never see them.
+        self._remote: dict[tuple[str, ...], object] = {}
         if not self.labelnames:
             self._children[()] = self._make_child()
 
@@ -253,6 +298,19 @@ class _Instrument:
     def children(self) -> dict[tuple[str, ...], object]:
         with self._lock:
             return dict(self._children)
+
+    def remote_children(self) -> dict[tuple[str, ...], object]:
+        """Merged-in series from other processes; keys are the local
+        label values plus the trailing ``proc`` value."""
+        with self._lock:
+            return dict(self._remote)
+
+    def _remote_child(self, key: tuple[str, ...]):
+        child = self._remote.get(key)
+        if child is None:
+            with self._lock:
+                child = self._remote.setdefault(key, self._make_child())
+        return child
 
     def _default_child(self):
         if self.labelnames:
@@ -384,30 +442,143 @@ class MetricsRegistry:
 
     # ---------------------------------------------------------- exposition
     def render(self) -> str:
-        """Prometheus text exposition (format 0.0.4) of every series."""
+        """Prometheus text exposition (format 0.0.4) of every series —
+        local children first, then merged-in remote series with their
+        extra ``proc`` label."""
         lines: list[str] = []
         for inst in sorted(self.instruments(), key=lambda i: i.name):
             if inst.help:
                 lines.append(f"# HELP {inst.name} {inst.help}")
             lines.append(f"# TYPE {inst.name} {inst.kind}")
-            for key, child in sorted(inst.children().items()):
+            series = [(inst.labelnames, key, child)
+                      for key, child in sorted(inst.children().items())]
+            series += [(inst.labelnames + ("proc",), key, child)
+                       for key, child
+                       in sorted(inst.remote_children().items())]
+            for labelnames, key, child in series:
                 if inst.kind == "histogram":
                     cumulative, total, n = child.snapshot()
                     edges = list(inst.buckets) + [float("inf")]
                     for edge, c in zip(edges, cumulative):
                         labels = _format_labels(
-                            inst.labelnames + ("le",),
+                            labelnames + ("le",),
                             key + (_format_value(edge),))
                         lines.append(f"{inst.name}_bucket{labels} {c}")
-                    labels = _format_labels(inst.labelnames, key)
+                    labels = _format_labels(labelnames, key)
                     lines.append(
                         f"{inst.name}_sum{labels} {_format_value(total)}")
                     lines.append(f"{inst.name}_count{labels} {n}")
                 else:
-                    labels = _format_labels(inst.labelnames, key)
+                    labels = _format_labels(labelnames, key)
                     lines.append(f"{inst.name}{labels} "
                                  f"{_format_value(child.value)}")
         return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------- cross-process merge
+    def snapshot(self) -> dict:
+        """Picklable capture of every *local* series.
+
+        ``{name: {"kind", "help", "labels", "series", ["buckets"]}}``
+        where ``series`` maps label-value tuples to a float (counter /
+        gauge — function-backed gauges are evaluated) or to
+        ``(per_bucket_counts, sum, count)`` for histograms.  Remote
+        series merged in from other processes are *not* re-exported:
+        each process reports only its own activity, so a two-level
+        merge never double-counts.
+        """
+        snap: dict = {}
+        for inst in self.instruments():
+            series: dict = {}
+            for key, child in inst.children().items():
+                if inst.kind == "histogram":
+                    series[key] = child.raw()
+                else:
+                    series[key] = float(child.value)
+            entry = {"kind": inst.kind, "help": inst.help,
+                     "labels": inst.labelnames, "series": series}
+            if inst.kind == "histogram":
+                entry["buckets"] = inst.buckets
+            snap[inst.name] = entry
+        return snap
+
+    def merge(self, delta: dict, proc: str) -> None:
+        """Fold a :func:`snapshot_delta` into this registry under the
+        ``proc`` label.  Unknown families are registered on the fly;
+        kind/label/bucket disagreements raise (same contract as local
+        get-or-create).  Counter and histogram payloads are *deltas*
+        and accumulate; gauge payloads are last-values and overwrite.
+        """
+        for name, entry in delta.items():
+            kind = entry["kind"]
+            labels = tuple(entry["labels"])
+            if kind == "counter":
+                inst = self.counter(name, entry.get("help", ""), labels)
+            elif kind == "gauge":
+                inst = self.gauge(name, entry.get("help", ""), labels)
+            elif kind == "histogram":
+                inst = self.histogram(name, entry.get("help", ""),
+                                      labels,
+                                      tuple(entry["buckets"]))
+                if inst.buckets != tuple(entry["buckets"]):
+                    raise ValueError(
+                        f"metric {name!r}: histogram bucket edges "
+                        f"disagree across processes")
+            else:
+                raise ValueError(f"metric {name!r}: unknown kind "
+                                 f"{kind!r} in telemetry delta")
+            for key, payload in entry["series"].items():
+                child = inst._remote_child(tuple(key) + (str(proc),))
+                if kind == "counter":
+                    child.inc(payload)
+                elif kind == "gauge":
+                    child.set(payload)
+                else:
+                    counts, total, n = payload
+                    child.merge(counts, total, n)
+
+
+def snapshot_delta(old: dict | None, new: dict) -> dict:
+    """What changed between two :meth:`MetricsRegistry.snapshot` calls,
+    in the same format — the compact payload a worker ships per result
+    envelope.
+
+    Counters and histograms subtract (monotonic, so deltas are ≥ 0; a
+    registry restart — value below the old snapshot — resends the full
+    new value).  Gauges are last-value and included only when changed.
+    Unchanged and zero-from-birth series are dropped, so an idle worker
+    produces an empty dict.
+    """
+    delta: dict = {}
+    old = old or {}
+    for name, entry in new.items():
+        prev_series = old.get(name, {}).get("series", {})
+        changed: dict = {}
+        for key, payload in entry["series"].items():
+            prev = prev_series.get(key)
+            if entry["kind"] == "histogram":
+                counts, total, n = payload
+                if prev is not None:
+                    pcounts, ptotal, pn = prev
+                    if n >= pn:
+                        counts = tuple(c - p
+                                       for c, p in zip(counts, pcounts))
+                        total, n = total - ptotal, n - pn
+                if n > 0:
+                    changed[key] = (counts, total, n)
+            elif entry["kind"] == "counter":
+                d = payload - (prev if prev is not None else 0.0)
+                if d < 0:          # registry restarted: resend total
+                    d = payload
+                if d > 0:
+                    changed[key] = d
+            else:                  # gauge: last value wins
+                if payload != (prev if prev is not None else 0.0):
+                    changed[key] = payload
+        if changed:
+            slim = {k: v for k, v in entry.items() if k != "series"}
+            slim["series"] = changed
+            delta[name] = slim
+    return delta
 
 
 # ----------------------------------------------------------------- parsing
@@ -444,7 +615,11 @@ def parse_text(text: str) -> dict[str, dict]:
     """
     families: dict[str, dict] = {}
     current: str | None = None
-    for line in text.splitlines():
+    # split on "\n" only: str.splitlines() would also break lines on
+    # \x0b-\x0d, \x1c-\x1e, \x85,  ... — characters that are legal
+    # *unescaped* inside a quoted label value (escaping covers only
+    # \n, \" and \\, as in the Prometheus exposition format)
+    for line in text.split("\n"):
         line = line.strip()
         if not line:
             continue

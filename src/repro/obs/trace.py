@@ -23,6 +23,7 @@ https://ui.perfetto.dev.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -34,13 +35,16 @@ __all__ = ["Span", "Trace", "render_trace"]
 @dataclass(frozen=True)
 class Span:
     """One timed operation: ``[start, end)`` in seconds since the
-    trace's birth, attributed to the OS thread that ran it."""
+    trace's birth, attributed to the OS thread that ran it.  ``pid`` is
+    0 for spans recorded in the trace's own process; spans adopted from
+    a worker (see :meth:`Trace.adopt`) carry the worker's real pid."""
 
     name: str
     start: float
     end: float
     thread: int
     attrs: dict = field(default_factory=dict)
+    pid: int = 0
 
     @property
     def duration(self) -> float:
@@ -89,6 +93,24 @@ class Trace:
         finally:
             self.add(name, start, self.now(), **attrs)
 
+    def adopt(self, spans, *, shift: float, pid: int,
+              proc: str | None = None) -> None:
+        """Fold spans recorded on another process's clock into this
+        trace.  ``spans`` are raw ``(name, start, end, tid, attrs)``
+        tuples whose timestamps are absolute on the worker's
+        ``perf_counter``; ``shift`` re-anchors them onto this trace's
+        span clock (``worker_epoch0 - self.epoch``, where ``epoch0`` is
+        the worker's wall-clock value at ``perf_counter() == 0``,
+        exchanged once at lane handshake).  Each span gains the
+        worker's real ``pid`` and — when given — a ``proc`` attribute
+        naming the lane."""
+        for name, start, end, tid, attrs in spans:
+            if proc is not None:
+                attrs = dict(attrs)
+                attrs["proc"] = proc
+            self._spans.append(
+                (name, start + shift, end + shift, tid, attrs, pid))
+
     # ------------------------------------------------------------- reading
     @property
     def spans(self) -> list[Span]:
@@ -130,6 +152,7 @@ class Trace:
                  "start_ms": s.start * 1e3,
                  "end_ms": s.end * 1e3,
                  "thread": s.thread,
+                 "pid": s.pid,
                  "attrs": dict(s.attrs)}
                 for s in sorted(self.spans, key=lambda s: s.start)
             ],
@@ -143,28 +166,37 @@ class Trace:
         for rec in payload.get("spans", ()):
             trace._spans.append((
                 rec["name"], rec["start_ms"] / 1e3, rec["end_ms"] / 1e3,
-                rec.get("thread", 0), dict(rec.get("attrs", {}))))
+                rec.get("thread", 0), dict(rec.get("attrs", {})),
+                rec.get("pid", 0)))
         return trace
 
     def to_chrome(self) -> list[dict]:
         """Chrome ``trace_event`` array: complete events (``ph: "X"``)
-        with microsecond timestamps, one ``tid`` per worker thread,
-        sorted by ``ts`` (catapult wants monotonic input)."""
-        tids: dict[int, int] = {}
+        with microsecond timestamps on real pid/tid rows (pid 0 — spans
+        recorded locally — resolves to this process's pid), sorted by
+        ``ts`` (catapult wants monotonic input), preceded by
+        ``process_name`` metadata rows naming each lane."""
+        here = os.getpid()
         events = []
+        procs: dict[int, str] = {}
         for s in sorted(self.spans, key=lambda s: s.start):
-            tid = tids.setdefault(s.thread, len(tids))
+            pid = s.pid or here
+            procs.setdefault(pid, "driver" if not s.pid
+                             else str(s.attrs.get("proc", f"pid{pid}")))
             events.append({
                 "name": s.name,
                 "ph": "X",
                 "ts": round(s.start * 1e6, 3),
                 "dur": round(max(s.duration, 0.0) * 1e6, 3),
-                "pid": 1,
-                "tid": tid,
+                "pid": pid,
+                "tid": s.thread,
                 "cat": "repro",
                 "args": dict(s.attrs),
             })
-        return events
+        meta = [{"name": "process_name", "ph": "M", "pid": pid,
+                 "args": {"name": label}}
+                for pid, label in sorted(procs.items())]
+        return meta + events
 
 
 def render_trace(payload: dict, width: int = 72) -> str:
@@ -180,10 +212,10 @@ def render_trace(payload: dict, width: int = 72) -> str:
     t_lo = min(s.start for s in spans)
     t_hi = max(s.end for s in spans)
     window = max(t_hi - t_lo, 1e-9)
-    tids: dict[int, int] = {}
+    tids: dict[tuple[int, int], int] = {}
     name_w = min(max(len(s.name) for s in spans), 24)
     for s in spans:
-        tid = tids.setdefault(s.thread, len(tids))
+        tid = tids.setdefault((s.pid, s.thread), len(tids))
         lo = int((s.start - t_lo) / window * width)
         hi = max(int((s.end - t_lo) / window * width), lo + 1)
         bar = " " * lo + "#" * (hi - lo)

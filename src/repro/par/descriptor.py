@@ -55,6 +55,7 @@ class QueryDescriptor:
     pushdown: bool
     on_corruption: str         # "raise" | "skip"
     io_retries: int
+    trace_enabled: bool = False  # worker records per-granule spans
 
     def to_json(self) -> dict:
         """A JSON-able dict (also the pickled pipe payload)."""
@@ -71,6 +72,7 @@ class QueryDescriptor:
             "pushdown": self.pushdown,
             "on_corruption": self.on_corruption,
             "io_retries": self.io_retries,
+            "trace_enabled": self.trace_enabled,
         }
 
     @classmethod
@@ -92,6 +94,9 @@ class QueryDescriptor:
             pushdown=bool(obj["pushdown"]),
             on_corruption=obj["on_corruption"],
             io_retries=int(obj["io_retries"]),
+            # added by the cross-process tracing work; absent in wire
+            # payloads from older drivers, same descriptor version
+            trace_enabled=bool(obj.get("trace_enabled", False)),
         )
 
     def build_plan(self) -> Plan:
@@ -99,7 +104,8 @@ class QueryDescriptor:
 
 
 def describe_query(plan: Plan, source, *, prune: bool, pushdown: bool,
-                   on_corruption: str, io_retries: int
+                   on_corruption: str, io_retries: int,
+                   trace_enabled: bool = False
                    ) -> QueryDescriptor | None:
     """Describe ``plan`` over ``source`` for out-of-process execution.
 
@@ -117,4 +123,5 @@ def describe_query(plan: Plan, source, *, prune: bool, pushdown: bool,
         return None
     return QueryDescriptor(
         plan=plan.to_json(), prune=prune, pushdown=pushdown,
-        on_corruption=on_corruption, io_retries=io_retries, **base)
+        on_corruption=on_corruption, io_retries=io_retries,
+        trace_enabled=trace_enabled, **base)

@@ -46,6 +46,12 @@ START_METHOD_ENV = "REPRO_PAR_START_METHOD"
 #: seconds between liveness/cancel checks while a lane waits on its pipe
 POLL_INTERVAL_S = 0.05
 
+#: 1-in-N sampling for the per-granule lane-health histograms
+#: (roundtrip, dispatch wait).  Granules can be microseconds; two
+#: histogram observes per granule is real overhead against the obs
+#: budget, and latency quantiles survive sampling just fine
+OBS_SAMPLE = 4
+
 _M_WORKERS = obs_metrics.gauge(
     "repro_par_workers", "live worker processes per process scheduler",
     labels=("sched",))
@@ -63,6 +69,18 @@ _M_BYTES = obs_metrics.counter(
     "bytes crossing worker pipes (descriptors+tasks sent, "
     "partials received)",
     labels=("sched", "direction"))
+_M_ROUNDTRIP = obs_metrics.histogram(
+    "repro_par_pipe_roundtrip_seconds",
+    "task send to result receive per granule, per lane pipe",
+    labels=("sched",))
+_M_DISPATCH_WAIT = obs_metrics.histogram(
+    "repro_par_dispatch_wait_seconds",
+    "time a granule sat queued before a lane picked it up",
+    labels=("sched",))
+_M_NEEDDESC = obs_metrics.counter(
+    "repro_par_needdesc_total",
+    "descriptor resends after a worker-side pipeline-LRU eviction",
+    labels=("sched",))
 
 
 def default_start_method() -> str:
@@ -97,29 +115,44 @@ class _WireDescriptor:
 class _Lane:
     """One worker process + pipe, owned by exactly one lane thread."""
 
-    __slots__ = ("ctx", "name", "fault_spec", "proc", "conn", "seq",
-                 "sent_descs")
+    __slots__ = ("ctx", "name", "index", "fault_spec", "proc", "conn",
+                 "seq", "sent_descs", "pid", "tid", "epoch0")
 
-    def __init__(self, ctx, name: str, fault_spec: dict | None):
+    def __init__(self, ctx, name: str, index: int,
+                 fault_spec: dict | None):
         self.ctx = ctx
         self.name = name
+        self.index = index
         self.fault_spec = fault_spec
         self.proc = None
         self.conn = None
         self.seq = 0
         self.sent_descs: set[int] = set()
+        # filled in by the worker's hello envelope: its real pid and
+        # main-thread id, and its wall-clock value at
+        # perf_counter()==0 — the anchor that re-maps worker span
+        # timestamps onto a driver trace
+        self.pid: int | None = None
+        self.tid: int = 0
+        self.epoch0: float | None = None
         self.start()
 
     def start(self) -> None:
         parent_conn, child_conn = self.ctx.Pipe(duplex=True)
         proc = self.ctx.Process(
-            target=worker_main, args=(child_conn, self.fault_spec),
+            target=worker_main,
+            # the obs kill switch rides the ctor spec like fault_spec
+            # does — spawn-started workers inherit no module globals
+            args=(child_conn, self.fault_spec, obs_metrics.enabled()),
             name=self.name, daemon=True)
         proc.start()
         child_conn.close()  # the worker holds the only live child end
         self.proc = proc
         self.conn = parent_conn
         self.sent_descs = set()  # a fresh worker has no cached pipelines
+        self.pid = None          # re-learned from the next hello
+        self.tid = 0
+        self.epoch0 = None
 
     def exitcode(self):
         if self.proc is None:
@@ -198,6 +231,10 @@ class ProcessScheduler(MorselScheduler):
         self._m_sent = _M_BYTES.labels(sched=name, direction="sent")
         self._m_received = _M_BYTES.labels(sched=name,
                                            direction="received")
+        self._m_roundtrip = _M_ROUNDTRIP.labels(sched=name)
+        self._m_dispatch_wait = _M_DISPATCH_WAIT.labels(sched=name)
+        self._m_needdesc = _M_NEEDDESC.labels(sched=name)
+        self._obs_tick = 0
         # build lanes BEFORE the base class starts its threads: forking
         # a process that is not yet multi-threaded sidesteps the whole
         # fork-with-held-locks class of bugs for the children
@@ -209,7 +246,7 @@ class ProcessScheduler(MorselScheduler):
         if resolved < 1:
             raise ValueError(f"workers must be positive, got {workers}")
         self._lanes = [
-            _Lane(self._ctx, f"{name}-worker-{i}", fault_spec)
+            _Lane(self._ctx, f"{name}-worker-{i}", i, fault_spec)
             for i in range(resolved)]
         self._m_workers.set(len(self._lanes))
         try:
@@ -239,6 +276,11 @@ class ProcessScheduler(MorselScheduler):
             # no descriptor (in-memory source): thread-tier fallback
             return job.fn(item)
         lane = self._lanes[worker_idx]
+        # racy tick is fine: approximate 1-in-OBS_SAMPLE is the goal
+        self._obs_tick += 1
+        if self._obs_tick % OBS_SAMPLE == 0:
+            self._m_dispatch_wait.observe(
+                max(0.0, time.perf_counter() - job.t_enqueued))
         attempt = 0
         while True:
             try:
@@ -277,6 +319,7 @@ class ProcessScheduler(MorselScheduler):
             # the worker's pipeline LRU evicted this descriptor (many
             # concurrent queries on one lane): resend it with the
             # granule — one extra round-trip, never a failed query
+            self._m_needdesc.inc()
             lane.sent_descs.discard(wire.desc_id)
         raise GranuleError(
             RuntimeError("worker kept requesting a descriptor that "
@@ -302,6 +345,7 @@ class ProcessScheduler(MorselScheduler):
             raise _LaneDead(lane.exitcode()) from None
         lane.sent_descs.add(wire.desc_id)
         self._m_sent.inc(len(message))
+        t_sent = time.perf_counter()
         while True:
             try:
                 ready = lane.conn.poll(POLL_INTERVAL_S)
@@ -309,8 +353,11 @@ class ProcessScheduler(MorselScheduler):
                 # AttributeError: close() tore the lane down under us
                 raise _LaneDead(lane.exitcode()) from None
             if ready:
-                result = self._receive(lane, seq, item)
+                result = self._receive(lane, seq, job, item)
                 if result is not _PENDING:
+                    if self._obs_tick % OBS_SAMPLE == 0:
+                        self._m_roundtrip.observe(
+                            time.perf_counter() - t_sent)
                     return result
                 continue
             if not lane.proc.is_alive():
@@ -318,7 +365,7 @@ class ProcessScheduler(MorselScheduler):
                 # for our seq may have made it out
                 try:
                     while lane.conn.poll(0):
-                        result = self._receive(lane, seq, item)
+                        result = self._receive(lane, seq, job, item)
                         if result is not _PENDING:
                             return result
                 except (BrokenPipeError, OSError, EOFError):
@@ -335,24 +382,74 @@ class ProcessScheduler(MorselScheduler):
                 self._m_abandoned.inc()
                 return None
 
-    def _receive(self, lane: _Lane, seq: int, item):
+    def _receive(self, lane: _Lane, seq: int, job: _Job | None, item):
         """One message off the lane pipe; ``_PENDING`` when it was a
-        stale (abandoned) result for an earlier seq."""
+        handshake, telemetry, or a stale (abandoned) result for an
+        earlier seq.  Telemetry deltas are folded into the process-wide
+        registry whatever envelope they rode in on — a stale result's
+        worker activity still happened."""
         try:
             raw = lane.conn.recv_bytes()
         except (AttributeError, EOFError, OSError):
             raise _LaneDead(lane.exitcode()) from None
-        status, rseq, payload = pickle.loads(raw)
-        if rseq != seq:
+        status, rseq, payload, delta = pickle.loads(raw)
+        if delta is not None:
+            self._fold_telemetry(lane, delta)
+        if status == "hello":
+            lane.pid = payload["pid"]
+            lane.tid = payload.get("tid", 0)
+            lane.epoch0 = payload["epoch0"]
+            return _PENDING
+        if status == "telemetry" or rseq != seq:
             return _PENDING
         self._m_received.inc(len(raw))
         if status == "ok":
             self._m_ok.inc()
+            self._adopt_spans(lane, job, payload, item)
             return payload
         if status == "needdesc":
             return _NEED_DESC
         self._m_error.inc()
         raise revive_error(payload, getattr(item, "index", -1))
+
+    def _fold_telemetry(self, lane: _Lane, delta: dict) -> None:
+        try:
+            obs_metrics.default_registry().merge(
+                delta, proc=f"w{lane.index}")
+        except ValueError:
+            # a conflicting family must not fail the query it rode
+            # along with; the conformance tests keep both sides honest
+            pass
+
+    def _adopt_spans(self, lane: _Lane, job: _Job | None,
+                     part, item) -> None:
+        """Fold a worker partial's spans into the query trace.  The
+        wire carries ``(granule_start, granule_end, extra_spans)`` —
+        the "granule" span's attrs are resynthesized here from
+        ``part.stats`` (the worker ships only its two timestamps; see
+        :meth:`repro.par.worker.WorkerState.run_granule`)."""
+        wire = getattr(part, "spans", None)
+        if not wire:
+            return
+        part.spans = None
+        if job is None or job.trace is None or lane.epoch0 is None:
+            return
+        shift = lane.epoch0 - job.trace.epoch
+        pid = lane.pid or 0
+        proc = f"w{lane.index}"
+        g_start, g_end, extra = wire
+        if g_start is not None:
+            st = part.stats
+            job.trace.adopt(
+                [("granule", g_start, g_end, lane.tid,
+                  {"granule": getattr(item, "index", item),
+                   "pruned": bool(st.granules_pruned),
+                   "cache_hits": st.cache_hits,
+                   "cache_misses": st.cache_misses,
+                   "rows": st.rows_scanned})],
+                shift=shift, pid=pid, proc=proc)
+        if extra:
+            job.trace.adopt(extra, shift=shift, pid=pid, proc=proc)
 
     # ------------------------------------------------------------ stats
     def stats(self) -> dict:
@@ -371,6 +468,18 @@ class ProcessScheduler(MorselScheduler):
         # after this point any lane death is teardown, not a failure
         self._terminating = True
         for lane in self._lanes:
+            # ask the worker out, then drain everything it wrote until
+            # the pipe goes EOF — idle flushes, stale abandoned
+            # results, and the final telemetry it sends on exit
+            try:
+                lane.conn.send_bytes(pickle.dumps(("exit",)))
+                while lane.conn.poll(1.0):
+                    msg = pickle.loads(lane.conn.recv_bytes())
+                    if len(msg) == 4 and msg[3] is not None:
+                        self._fold_telemetry(lane, msg[3])
+            except (EOFError, OSError, ValueError,
+                    pickle.UnpicklingError, AttributeError):
+                pass
             lane.shutdown()
         self._m_workers.set(0)
 

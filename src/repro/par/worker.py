@@ -4,11 +4,24 @@
 speaks a tiny length-prefixed pickle protocol over its duplex pipe::
 
     ("task", seq, desc_id, desc_json | None, granule_index)   # driver →
-    ("ok",  seq, _Partial)                                    # ← worker
-    ("err", seq, error_envelope_dict)                         # ← worker
-    ("needdesc", seq, None)                                   # ← worker
-    ("ping", seq) / ("pong", seq)                             # liveness
+    ("ok",  seq, _Partial, delta | None)                      # ← worker
+    ("err", seq, error_envelope_dict, delta | None)           # ← worker
+    ("needdesc", seq, None, delta | None)                     # ← worker
+    ("hello", 0, {"pid", "epoch0"}, None)                     # ← worker
+    ("telemetry", 0, None, delta)                             # ← worker
+    ("ping", seq) / ("pong", seq, None, delta | None)         # liveness
     ("exit",)                                                 # driver →
+
+Every worker → driver envelope carries an optional *telemetry delta* —
+a :func:`repro.obs.metrics.snapshot_delta` of the worker's own metrics
+registry since the last envelope — which the driver folds into the
+process-wide registry under the lane's ``proc`` label.  ``hello`` is
+sent once at startup (and after every respawn) and carries the
+worker's pid plus its wall-clock epoch at ``perf_counter() == 0``, the
+anchor the driver uses to re-map worker span timestamps onto a query
+trace.  When the pipe stays quiet for :data:`IDLE_FLUSH_S`, the worker
+pushes an unsolicited ``telemetry`` envelope so gauges and background
+activity reach ``/metrics`` without query traffic.
 
 ``desc_json`` rides along only the first time a lane sees a descriptor
 (and again after a respawn); afterwards ``desc_id`` alone names the
@@ -40,6 +53,8 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
+import time
 import traceback
 from collections import OrderedDict
 
@@ -47,10 +62,12 @@ from repro import faults
 from repro.exec.errors import CorruptChunkError, GranuleError
 from repro.exec.run import GranulePipeline, _Partial
 from repro.faults import FaultInjector, SimulatedCrash
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import Trace
 from repro.par.descriptor import QueryDescriptor
 
-__all__ = ["CRASH_EXIT_CODE", "NeedDescriptor", "WorkerState",
-           "encode_error", "revive_error", "worker_main"]
+__all__ = ["CRASH_EXIT_CODE", "IDLE_FLUSH_S", "NeedDescriptor",
+           "WorkerState", "encode_error", "revive_error", "worker_main"]
 
 #: exit status of a worker killed by an injected ``granule.exec`` crash
 CRASH_EXIT_CODE = 113
@@ -58,6 +75,22 @@ CRASH_EXIT_CODE = 113
 #: prepared pipelines kept per worker (descriptors are per-query, so
 #: this bounds memory across many concurrent queries, LRU)
 MAX_CACHED_PIPELINES = 16
+
+#: quiet-pipe interval after which a worker flushes telemetry unasked
+IDLE_FLUSH_S = 0.5
+
+#: floor between registry snapshots — a snapshot walks every series,
+#: which dwarfs a microsecond granule, so result envelopes carry a
+#: delta at most this often (forced flushes — idle, ping, exit —
+#: bypass it)
+TELEMETRY_MIN_INTERVAL_S = 0.05
+
+# Charged worker-side, merged into the driver under the lane's ``proc``
+# label — the per-lane work signal ``obs top`` reads (the driver never
+# increments its own unlabelled series).
+_M_WORKER_GRANULES = obs_metrics.counter(
+    "repro_par_worker_granules_total",
+    "granules executed inside this worker process")
 
 
 class NeedDescriptor(Exception):
@@ -139,6 +172,12 @@ class WorkerState:
         self.max_pipelines = max_pipelines
         self._sources: dict[tuple, object] = {}
         self._pipelines: OrderedDict[int, tuple] = OrderedDict()
+        # one reusable span recorder for every traced granule: a fresh
+        # Trace per granule costs a wall-clock read + two allocations
+        # inside the hot loop, and only the span list and t0 matter
+        # here — timestamps ship as absolute perf_counter values, so a
+        # long-lived t0 rebases exactly the same way
+        self._trace: Trace | None = None
 
     def _source_for(self, desc: QueryDescriptor):
         key = (desc.table_path, desc.version, desc.verify_checksums,
@@ -156,10 +195,11 @@ class WorkerState:
         return source
 
     def pipeline_for(self, desc_id: int, desc: QueryDescriptor | None):
-        """The prepared (pipeline, source) for ``desc_id``, building it
-        from ``desc`` on first sight.  A miss with ``desc=None`` raises
-        :class:`NeedDescriptor` — the driver thinks this lane has the
-        pipeline but the LRU evicted it, so ask for a resend."""
+        """The prepared (pipeline, source, trace_enabled) for
+        ``desc_id``, building it from ``desc`` on first sight.  A miss
+        with ``desc=None`` raises :class:`NeedDescriptor` — the driver
+        thinks this lane has the pipeline but the LRU evicted it, so
+        ask for a resend."""
         entry = self._pipelines.get(desc_id)
         if entry is not None:
             self._pipelines.move_to_end(desc_id)
@@ -179,14 +219,16 @@ class WorkerState:
             desc.build_plan(), source, prune=desc.prune,
             pushdown=desc.pushdown, on_corruption=desc.on_corruption,
             io_retries=desc.io_retries)
-        self._pipelines[desc_id] = entry = (pipeline, source)
+        entry = (pipeline, source, desc.trace_enabled)
+        self._pipelines[desc_id] = entry
         while len(self._pipelines) > self.max_pipelines:
             self._pipelines.popitem(last=False)
         return entry
 
     def run_granule(self, desc_id: int, desc: QueryDescriptor | None,
                     granule_index: int) -> _Partial | None:
-        pipeline, source = self.pipeline_for(desc_id, desc)
+        pipeline, source, trace_enabled = \
+            self.pipeline_for(desc_id, desc)
         granules = source.granules()
         if not 0 <= granule_index < len(granules):
             raise RuntimeError(
@@ -196,26 +238,132 @@ class WorkerState:
         faults.fire("granule.exec", granule=granule_index,
                     table=os.path.basename(
                         getattr(source.table, "path", "")))
-        return pipeline.run(granules[granule_index])
+        _M_WORKER_GRANULES.inc()
+        if not trace_enabled:
+            return pipeline.run(granules[granule_index])
+        # Record spans into the reused local trace, then ship them
+        # re-based to *absolute* perf_counter timestamps — the driver
+        # turns those into trace offsets via the hello epoch.  The
+        # trailing "granule" span only repeats numbers that already
+        # travel in ``part.stats``, so it collapses to its two
+        # timestamps on the wire and the driver resynthesizes the
+        # attrs (a traced scan records one such span per granule; the
+        # pickle cost of its attrs dict is the bulk of the tracing
+        # overhead budget on the process tier).
+        local = self._trace
+        if local is None:
+            local = self._trace = Trace("granule")
+        spans = local._spans
+        spans.clear()
+        part = pipeline.run(granules[granule_index], trace=local)
+        if part is not None and spans:
+            t0 = local.t0
+            if spans[-1][0] == "granule":
+                _, g_start, g_end, _tid, _attrs = spans[-1]
+                rest = spans[:-1]
+                part.spans = (
+                    t0 + g_start, t0 + g_end,
+                    [(name, t0 + start, t0 + end, tid, attrs)
+                     for name, start, end, tid, attrs in rest]
+                    or None)
+            else:  # unexpected layout: ship everything verbatim
+                part.spans = (
+                    None, None,
+                    [(name, t0 + start, t0 + end, tid, attrs)
+                     for name, start, end, tid, attrs in spans])
+        return part
 
 
 # ----------------------------------------------------------- main loop
-def worker_main(conn, fault_spec: dict | None = None) -> None:
-    """Run one worker process until ``("exit",)`` or pipe EOF."""
+def _telemetry_delta(prev: dict | None) -> tuple[dict | None, dict | None]:
+    """(delta to ship or None, new baseline snapshot).
+
+    Skipped entirely when the kill switch is off — function-backed
+    gauges read live state regardless of the switch, so snapshotting
+    while disabled would leak telemetry the ≤5 % budget promised away.
+    """
+    if not obs_metrics.enabled():
+        return None, prev
+    snap = obs_metrics.default_registry().snapshot()
+    delta = obs_metrics.snapshot_delta(prev, snap)
+    return (delta or None), snap
+
+
+def worker_main(conn, fault_spec: dict | None = None,
+                obs_enabled: bool = True) -> None:
+    """Run one worker process until ``("exit",)`` or pipe EOF.
+
+    ``obs_enabled`` mirrors the driver's :func:`repro.obs.set_enabled`
+    state at lane start — spawn-started workers do not inherit module
+    globals, so the kill switch rides the ctor spec like ``fault_spec``
+    does.
+    """
+    if not obs_enabled:
+        obs_metrics.set_enabled(False)
     if fault_spec is not None and faults.active() is None:
         faults.install(FaultInjector.from_spec(fault_spec))
     state = WorkerState()
+    # baseline immediately: a fork-started worker inherits the driver's
+    # whole registry, and shipping that inheritance as a first delta
+    # would double-count every pre-fork series under the proc label —
+    # only activity *since* this process began belongs to it
+    prev_snap: dict | None = (
+        obs_metrics.default_registry().snapshot()
+        if obs_metrics.enabled() else None)
+    last_snap = time.perf_counter()
+
+    def maybe_delta(force: bool = False) -> dict | None:
+        """Rate-limited telemetry: a registry snapshot costs far more
+        than a microsecond-scale granule, so per-response deltas are
+        throttled to one per ``TELEMETRY_MIN_INTERVAL_S``.  ``force``
+        bypasses the throttle (idle flush, ping, exit)."""
+        nonlocal prev_snap, last_snap
+        now = time.perf_counter()
+        if not force and now - last_snap < TELEMETRY_MIN_INTERVAL_S:
+            return None
+        delta, prev_snap = _telemetry_delta(prev_snap)
+        last_snap = now
+        return delta
+    try:
+        conn.send_bytes(pickle.dumps(
+            ("hello", 0,
+             {"pid": os.getpid(),
+              "tid": threading.get_ident(),
+              "epoch0": time.time() - time.perf_counter()},
+             None)))
+    except (BrokenPipeError, OSError):
+        return
     while True:
         try:
+            if not conn.poll(IDLE_FLUSH_S):
+                delta = maybe_delta(force=True)
+                if delta is not None:
+                    conn.send_bytes(pickle.dumps(
+                        ("telemetry", 0, None, delta)))
+                continue
             raw = conn.recv_bytes()
         except (EOFError, OSError):
             break
         request = pickle.loads(raw)
         op = request[0]
         if op == "exit":
+            # final flush on the way out, so close()'s drain folds the
+            # tail of this worker's activity before the process dies
+            delta = maybe_delta(force=True)
+            if delta is not None:
+                try:
+                    conn.send_bytes(pickle.dumps(
+                        ("telemetry", 0, None, delta)))
+                except (BrokenPipeError, OSError):
+                    pass
             break
         if op == "ping":
-            conn.send_bytes(pickle.dumps(("pong", request[1])))
+            delta = maybe_delta(force=True)
+            try:
+                conn.send_bytes(pickle.dumps(
+                    ("pong", request[1], None, delta)))
+            except (BrokenPipeError, OSError):
+                break
             continue
         _, seq, desc_id, desc_json, granule_index = request
         try:
@@ -231,13 +379,24 @@ def worker_main(conn, fault_spec: dict | None = None) -> None:
             response = ("needdesc", seq, None)
         except BaseException as err:  # noqa: BLE001 — everything ships back
             response = ("err", seq, encode_error(err))
+        delta = maybe_delta()
+        response = response + (delta,)
         try:
             payload = pickle.dumps(response,
                                    protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as err:  # unpicklable partial: report, not hang
-            payload = pickle.dumps(("err", seq, encode_error(err)))
+            payload = pickle.dumps(
+                ("err", seq, encode_error(err), delta))
         try:
             conn.send_bytes(payload)
+            # becoming idle? push the throttled tail now (still rate
+            # limited) instead of waiting out the idle-flush poll, so a
+            # scrape right after a query sees this granule's work
+            if delta is None and not conn.poll(0):
+                tail = maybe_delta()
+                if tail is not None:
+                    conn.send_bytes(pickle.dumps(
+                        ("telemetry", 0, None, tail)))
         except (BrokenPipeError, OSError):
             break
     try:

@@ -271,12 +271,23 @@ class TableServer:
         _M_SLOW_QUERIES.inc()
         if self.slow_query_log is None:
             return
+        # which tier served it, and — from the trace's granule spans'
+        # ``proc`` attribute — how the granules spread across lanes
+        # (driver-run granules count under "driver")
+        lanes: dict[str, int] = {}
+        if trace is not None:
+            for s in trace.spans:
+                if s.name == "granule":
+                    proc = str(s.attrs.get("proc", "driver"))
+                    lanes[proc] = lanes.get(proc, 0) + 1
         record = {
             "ts": time.time(),
             "op": op,
             "table": table,
             "elapsed_ms": elapsed_s * 1e3,
             "timed_out": timed_out,
+            "worker_tier": self.worker_tier if self.shared else "thread",
+            "lanes": lanes,
             "plan": plan.to_json(),
             "explain": explain,
             "trace": trace.to_json() if trace is not None else None,

@@ -22,11 +22,14 @@ Five suites:
 
 import json
 import os
+import pickle
 import threading
 import urllib.request
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exec import ExecTimeout, MorselScheduler, Plan, Range
 from repro.obs import __main__ as obs_main
@@ -42,6 +45,9 @@ from repro.serve import ServeClient, TableServer
 from repro.store import StoreSource, Table, TableWriter
 from repro.store import cli as store_cli
 from repro.store.scrub import scrub_table
+
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 @pytest.fixture
@@ -162,7 +168,10 @@ class TestMetricsConformance:
                     assert f"{inst.name}_bucket" in sample_names
             for _, labels, _ in fams[inst.name]["samples"]:
                 got = set(labels) - {"le"}
-                assert got == set(inst.labelnames), inst.name
+                # series merged in from worker processes carry one
+                # extra bounded label: proc="w<lane>"
+                want = set(inst.labelnames)
+                assert got in (want, want | {"proc"}), inst.name
 
     def test_concurrent_increments_lose_no_counts(self, registry):
         c = registry.counter("t_conc_total", "x")
@@ -205,6 +214,177 @@ class TestMetricsConformance:
         assert registry.gauge("t_off_gauge").value == 0
         c.inc()
         assert c.value == 2
+
+
+class TestSnapshotMerge:
+    """The cross-process protocol: snapshot → pickle → merge."""
+
+    def test_basic_kinds_merge_under_proc_label(self, registry):
+        registry.counter("repro_m_total", "c", ("k",)) \
+            .labels(k="x").inc(5)
+        registry.gauge("repro_m_gauge", "g").set(2.5)
+        h = registry.histogram("repro_m_seconds", "h",
+                               buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        delta = obs_metrics.snapshot_delta(None, registry.snapshot())
+        dst = MetricsRegistry()
+        dst.merge(pickle.loads(pickle.dumps(delta)), proc="w0")
+        fams = parse_text(dst.render())
+        [(_, labels, v)] = [
+            s for s in fams["repro_m_total"]["samples"]]
+        assert labels == {"k": "x", "proc": "w0"} and v == 5
+        assert any(labels == {"proc": "w0"} and v == 2.5
+                   for _, labels, v in fams["repro_m_gauge"]["samples"])
+        counts = {labels["le"]: v for name, labels, v
+                  in fams["repro_m_seconds"]["samples"]
+                  if name.endswith("_bucket")}
+        assert counts == {"0.1": 1, "1": 1, "+Inf": 2}
+
+    def test_function_backed_gauge_snapshots_its_value(self, registry):
+        g = registry.gauge("repro_m_live", "g")
+        g.set_function(lambda: 42.0)
+        snap = registry.snapshot()
+        assert snap["repro_m_live"]["series"][()] == 42.0
+
+    def test_delta_ships_only_changes(self, registry):
+        c = registry.counter("repro_m_total", "c")
+        g = registry.gauge("repro_m_gauge", "g")
+        c.inc(3)
+        g.set(1.0)
+        first = registry.snapshot()
+        assert set(obs_metrics.snapshot_delta(None, first)) == \
+            {"repro_m_total", "repro_m_gauge"}
+        c.inc(2)
+        delta = obs_metrics.snapshot_delta(first, registry.snapshot())
+        assert set(delta) == {"repro_m_total"}
+        assert delta["repro_m_total"]["series"][()] == 2
+        # nothing changed since: an idle process ships nothing
+        second = registry.snapshot()
+        assert obs_metrics.snapshot_delta(second,
+                                          registry.snapshot()) == {}
+
+    def test_counter_regression_resends_full_value(self, registry):
+        c = registry.counter("repro_m_total", "c")
+        c.inc(10)
+        old = registry.snapshot()
+        # a respawned worker restarts from zero: the next delta must
+        # carry its full (new) total, never a negative amount
+        fresh = MetricsRegistry()
+        fresh.counter("repro_m_total", "c").inc(4)
+        delta = obs_metrics.snapshot_delta(old, fresh.snapshot())
+        assert delta["repro_m_total"]["series"][()] == 4
+
+    def test_merge_conflicts_raise(self, registry):
+        registry.counter("repro_m_total", "c").inc()
+        delta = obs_metrics.snapshot_delta(None, registry.snapshot())
+        dst = MetricsRegistry()
+        dst.gauge("repro_m_total", "not a counter")
+        with pytest.raises(ValueError, match="already registered"):
+            dst.merge(delta, proc="w0")
+        other = MetricsRegistry()
+        other.histogram("repro_m_seconds", "h", buckets=(0.5,)) \
+            .observe(0.1)
+        hdelta = obs_metrics.snapshot_delta(None, other.snapshot())
+        dst2 = MetricsRegistry()
+        dst2.histogram("repro_m_seconds", "h", buckets=(0.25, 2.0))
+        with pytest.raises(ValueError):
+            dst2.merge(hdelta, proc="w0")
+
+    def test_merged_series_accumulate_per_proc(self, registry):
+        registry.counter("repro_m_total", "c").inc(2)
+        d1 = obs_metrics.snapshot_delta(None, registry.snapshot())
+        dst = MetricsRegistry()
+        dst.merge(d1, proc="w0")
+        dst.merge(d1, proc="w1")
+        dst.merge(d1, proc="w0")
+        remote = dst.get("repro_m_total").remote_children()
+        assert remote[("w0",)].value == 4
+        assert remote[("w1",)].value == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_property_snapshot_pickle_merge_lossless(self, data):
+        """Any mix of kinds, label sets, and escaping-hostile label
+        values survives snapshot → pickle → merge → render → parse
+        with every non-zero series intact (zero-from-birth series are
+        documented as dropped)."""
+        label_text = st.text(min_size=0, max_size=8)
+        src = MetricsRegistry()
+        for i in range(data.draw(st.integers(1, 4), label="n_inst")):
+            kind = data.draw(st.sampled_from(
+                ("counter", "gauge", "histogram")), label="kind")
+            labelnames = tuple(data.draw(
+                st.lists(st.sampled_from(("a", "b")), unique=True,
+                         max_size=2), label="labels"))
+            name = f"repro_prop_{i}" + \
+                ("_total" if kind == "counter" else "")
+            if kind == "counter":
+                inst = src.counter(name, "p", labelnames)
+            elif kind == "gauge":
+                inst = src.gauge(name, "p", labelnames)
+            else:
+                inst = src.histogram(name, "p", labelnames,
+                                     buckets=(0.1, 1.0))
+            for _ in range(data.draw(st.integers(1, 3),
+                                     label="n_series")):
+                values = {n: data.draw(label_text, label="lv")
+                          for n in labelnames}
+                child = inst.labels(**values) if labelnames else inst
+                if kind == "counter":
+                    child.inc(data.draw(st.integers(0, 10_000),
+                                        label="amount"))
+                elif kind == "gauge":
+                    child.set(data.draw(
+                        st.floats(-1e6, 1e6, allow_nan=False),
+                        label="value"))
+                else:
+                    for v in data.draw(
+                            st.lists(st.floats(0, 100,
+                                               allow_nan=False),
+                                     max_size=4), label="obs"):
+                        child.observe(v)
+        delta = obs_metrics.snapshot_delta(None, src.snapshot())
+        dst = MetricsRegistry()
+        dst.merge(pickle.loads(pickle.dumps(delta)), proc="w9")
+        src_fams = parse_text(src.render())
+        dst_fams = parse_text(dst.render())
+        for fam_name, fam in src_fams.items():
+            hist = fam["type"] == "histogram"
+            # histogram series that never observed are dropped by the
+            # delta; identify them per-series (labels minus "le")
+            empty = {tuple(sorted(lb.items()))
+                     for name, lb, v in fam["samples"]
+                     if name.endswith("_count") and v == 0} \
+                if hist else set()
+            for sample_name, labels, value in fam["samples"]:
+                base = tuple(sorted((k, v) for k, v in labels.items()
+                                    if k != "le"))
+                if hist and base in empty:
+                    continue
+                if not hist and value == 0:
+                    continue  # zero-from-birth series are dropped
+                expected = dict(labels)
+                expected["proc"] = "w9"
+                assert (sample_name, expected, value) in [
+                    (n, dict(lb), v)
+                    for n, lb, v in dst_fams[fam_name]["samples"]], \
+                    (fam_name, sample_name, labels, value)
+
+    def test_env_kill_switch_disables_at_import(self):
+        import subprocess
+        import sys
+
+        code = ("from repro.obs import metrics as m; "
+                "m.counter('repro_env_total', 'x').inc(); "
+                "print(m.enabled(), "
+                "m.default_registry().get('repro_env_total').value)")
+        env = dict(os.environ, REPRO_OBS_DISABLED="1",
+                   PYTHONPATH="src")
+        out = subprocess.run(
+            [sys.executable, "-c", code], env=env, cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True)
+        assert out.stdout.split() == ["False", "0.0"]
 
 
 class TestReservoir:
@@ -300,12 +480,18 @@ class TestTracing:
         with Table.open(path) as table:
             Plan.scan(("val",)).where(Range("val", 0, 600)).execute(
                 StoreSource(table), trace=trace)
-        events = json.loads(json.dumps(trace.to_chrome()))
+        exported = json.loads(json.dumps(trace.to_chrome()))
+        meta = [e for e in exported if e["ph"] == "M"]
+        events = [e for e in exported if e["ph"] != "M"]
         assert len(events) == len(trace.spans) > 0
+        # all spans ran locally: one real-pid process row named driver
+        assert [m["args"]["name"] for m in meta] == ["driver"]
+        assert meta[0]["pid"] == os.getpid()
         timestamps = [e["ts"] for e in events]
         assert timestamps == sorted(timestamps)
         for e in events:
-            assert e["ph"] == "X" and e["dur"] >= 0 and e["pid"] == 1
+            assert e["ph"] == "X" and e["dur"] >= 0
+            assert e["pid"] == os.getpid()
             assert isinstance(e["tid"], int)
 
     def test_json_roundtrip_and_summary(self):
@@ -422,7 +608,8 @@ class TestServeSurfaces:
         assert 0 < latency["p50"] <= latency["p99"]
 
     def test_slow_query_log_records_plan_explain_trace(self, served,
-                                                       tmp_path):
+                                                       tmp_path,
+                                                       capsys):
         log = str(tmp_path / "slow.jsonl")
         with TableServer(served, slow_query_ms=0.0,
                          slow_query_log=log) as server:
@@ -441,8 +628,16 @@ class TestServeSurfaces:
         assert "Scan[" in record["explain"]
         span_names = {s["name"] for s in record["trace"]["spans"]}
         assert "granule" in span_names and "admit" in span_names
-        # the render CLI understands slow-query JSONL directly
+        # cross-process context: which tier ran it, granules per lane
+        assert record["worker_tier"] == "thread"
+        assert record["lanes"] == {
+            "driver": sum(1 for s in record["trace"]["spans"]
+                          if s["name"] == "granule")}
+        # the render CLI understands slow-query JSONL directly and
+        # surfaces the tier/lane context
         assert obs_main.main(["render", log]) == 0
+        rendered = capsys.readouterr().out
+        assert "worker_tier" in rendered and "thread" in rendered
 
     def test_slow_query_threshold_filters(self, served, tmp_path):
         log = str(tmp_path / "slow.jsonl")
@@ -522,8 +717,8 @@ class TestScrubInfoAccounting:
         assert "load" in out and "merge" in out and "#" in out
         assert obs_main.main(["render", "--chrome", path]) == 0
         chrome = json.loads(capsys.readouterr().out)
-        assert [e["name"] for e in chrome["traceEvents"]] \
-            == ["load", "merge"]
+        assert [e["name"] for e in chrome["traceEvents"]
+                if e["ph"] == "X"] == ["load", "merge"]
 
     def test_render_trace_ascii(self):
         trace = Trace("demo")
@@ -533,3 +728,100 @@ class TestScrubInfoAccounting:
         lines = text.splitlines()
         assert lines[0].startswith("trace: demo")
         assert any("10.000ms" in line for line in lines)
+
+# ===================================================================
+# obs top — rates view over /metrics scrapes
+# ===================================================================
+class TestObsTop:
+    def _registries(self):
+        """A (before, after) registry pair with serve/exec/cache/par
+        activity in the window, including a merged worker series."""
+        from repro.obs import metrics as m
+
+        before = MetricsRegistry()
+        req = before.counter("repro_serve_requests_total", "r",
+                             ("op", "status"))
+        req.labels(op="query", status="ok").inc(10)
+        hist = before.histogram("repro_serve_request_seconds", "h",
+                                buckets=(0.1, 1.0))
+        for _ in range(4):
+            hist.observe(0.05)
+        lookups = before.counter("repro_cache_lookups_total", "c",
+                                 ("outcome",))
+        lookups.labels(outcome="hit").inc(6)
+        lookups.labels(outcome="miss").inc(4)
+        after = MetricsRegistry()
+        req2 = after.counter("repro_serve_requests_total", "r",
+                             ("op", "status"))
+        req2.labels(op="query", status="ok").inc(30)
+        hist2 = after.histogram("repro_serve_request_seconds", "h",
+                                buckets=(0.1, 1.0))
+        for _ in range(4):
+            hist2.observe(0.05)
+        for _ in range(8):
+            hist2.observe(0.05)   # 8 fast requests in the window
+        lookups2 = after.counter("repro_cache_lookups_total", "c",
+                                 ("outcome",))
+        lookups2.labels(outcome="hit").inc(12)
+        lookups2.labels(outcome="miss").inc(6)
+        # worker telemetry merged under proc="w0" — only in `after`
+        worker = MetricsRegistry()
+        worker.counter("repro_par_worker_granules_total", "g").inc(24)
+        worker.counter("repro_cache_lookups_total", "c",
+                       ("outcome",)).labels(outcome="miss").inc(24)
+        after.merge(m.snapshot_delta(None, worker.snapshot()),
+                    proc="w0")
+        return before, after
+
+    def test_hist_quantile_interpolates_bucket_deltas(self):
+        from repro.obs import top as obs_top
+
+        before = MetricsRegistry()
+        h = before.histogram("repro_q_seconds", "q",
+                             buckets=(0.1, 1.0))
+        after = MetricsRegistry()
+        h2 = after.histogram("repro_q_seconds", "q",
+                             buckets=(0.1, 1.0))
+        for _ in range(50):
+            h2.observe(0.05)
+        for _ in range(50):
+            h2.observe(0.5)
+        prev = parse_text(before.render())
+        curr = parse_text(after.render())
+        p50 = obs_top.hist_quantile(prev, curr, "repro_q_seconds", 0.5)
+        p99 = obs_top.hist_quantile(prev, curr, "repro_q_seconds", 0.99)
+        assert p50 == pytest.approx(0.1)          # 50th lands on edge
+        assert 0.1 < p99 <= 1.0                   # interpolated above
+        # no observations in the window → None, not a crash
+        assert obs_top.hist_quantile(curr, curr,
+                                     "repro_q_seconds", 0.5) is None
+        assert obs_top.hist_quantile(prev, curr,
+                                     "repro_nope_seconds", 0.5) is None
+
+    def test_compute_view_rates_and_lanes(self):
+        from repro.obs import top as obs_top
+
+        before, after = self._registries()
+        view = obs_top.compute_view(parse_text(before.render()),
+                                    parse_text(after.render()), 10.0)
+        assert view["qps"] == pytest.approx(2.0)   # 20 requests / 10s
+        # hit rate over the window: +6 hits, +2 local + 24 worker misses
+        assert view["cache_hit_rate"] == pytest.approx(6 / 32)
+        assert view["request_p50"] is not None
+        assert view["lanes"]["w0"]["granules"] == 24
+        assert view["lanes"]["w0"]["cache_lookups"] == 24
+        assert "driver" not in view["lanes"]
+
+    def test_top_cli_snapshot_mode(self, tmp_path, capsys):
+        before, after = self._registries()
+        b = str(tmp_path / "before.txt")
+        a = str(tmp_path / "after.txt")
+        with open(b, "w", encoding="utf-8") as fh:
+            fh.write(before.render())
+        with open(a, "w", encoding="utf-8") as fh:
+            fh.write(after.render())
+        assert obs_main.main(["top", "--snapshots", b, a,
+                              "--dt", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "req/s" in out and "hit rate" in out
+        assert "w0" in out and "granules +24" in out

@@ -69,7 +69,8 @@ from repro.exec.pool import (
 from repro.exec.run import execute
 from repro.faults import FaultInjector
 from repro.mutate import MutableTable
-from repro.obs.metrics import parse_text, render_text
+from repro.obs.metrics import parse_text, render_text, set_enabled
+from repro.obs.trace import Trace
 from repro.par import (
     DESCRIPTOR_VERSION,
     ProcessScheduler,
@@ -532,9 +533,16 @@ class TestSharedSchedulerConfig:
 # ===================================================================
 class TestCacheGauges:
     def _gauges(self):
+        # earlier process-tier tests merge worker copies of these
+        # gauges under a ``proc`` label; this test is about the LOCAL
+        # function-backed series
         fams = parse_text(render_text())
-        [(_, _, used)] = fams["repro_cache_used_bytes"]["samples"]
-        [(_, _, entries)] = fams["repro_cache_entries"]["samples"]
+        [used] = [v for _, lbl, v
+                  in fams["repro_cache_used_bytes"]["samples"]
+                  if "proc" not in lbl]
+        [entries] = [v for _, lbl, v
+                     in fams["repro_cache_entries"]["samples"]
+                     if "proc" not in lbl]
         return used, entries
 
     def test_gauges_sum_over_live_caches(self):
@@ -586,3 +594,144 @@ class TestServeProcessTier:
                                       expected.columns[name]), name
         finally:
             srv.shutdown()
+
+
+# ===================================================================
+# cross-process observability (PR 10)
+# ===================================================================
+class TestCrossProcessObs:
+    """Worker telemetry merges under ``proc`` labels, traces cross the
+    lane pipe, and the ``REPRO_OBS_DISABLED``/``set_enabled`` kill
+    switch silences all of it."""
+
+    @staticmethod
+    def _family_total(fams, family, merged=None):
+        """Sum of one counter family's samples; ``merged`` narrows to
+        proc-labelled (True) or local (False) series."""
+        total = 0.0
+        for _, labels, value in fams.get(
+                family, {"samples": []})["samples"]:
+            if merged is not None and ("proc" in labels) != merged:
+                continue
+            total += value
+        return total
+
+    def test_one_scrape_accounts_for_worker_activity(self, source):
+        """The tentpole invariant: a thread-tier and a process-tier run
+        of the same workload charge the same number of cache lookups to
+        the registry — locally for threads, under ``proc`` labels for
+        workers — and worker granules surface per-lane."""
+        fam = "repro_cache_lookups_total"
+        before = parse_text(render_text())
+        thread_res = FILTER_PLAN.execute(source, threads=1)
+        mid = parse_text(render_text())
+        thread_delta = (self._family_total(mid, fam, merged=False)
+                        - self._family_total(before, fam, merged=False))
+        assert thread_delta > 0
+
+        with ProcessScheduler(workers=2, name="obs-merge") as sched:
+            proc_res = FILTER_PLAN.execute(source, scheduler=sched)
+        # close() drains each lane's final telemetry flush, so one
+        # scrape here accounts for everything the workers did
+        after = parse_text(render_text())
+        assert np.array_equal(proc_res.row_ids, thread_res.row_ids)
+        merged_delta = (self._family_total(after, fam, merged=True)
+                        - self._family_total(mid, fam, merged=True))
+        local_delta = (self._family_total(after, fam, merged=False)
+                       - self._family_total(mid, fam, merged=False))
+        # same workload, same chunk traffic — charged worker-side now
+        assert merged_delta == thread_delta
+        assert local_delta == 0
+        granules = (self._family_total(
+            after, "repro_par_worker_granules_total", merged=True)
+            - self._family_total(
+                mid, "repro_par_worker_granules_total", merged=True))
+        assert granules == proc_res.stats.granules_total > 0
+        # lane-health series exist once a process tier has run
+        fams = parse_text(render_text())
+        assert "repro_par_pipe_roundtrip_seconds" in fams
+        assert "repro_par_dispatch_wait_seconds" in fams
+
+    def test_traced_process_query_spans_match_stats(self, source,
+                                                    sched):
+        trace = Trace("q")
+        res = FILTER_PLAN.execute(source, scheduler=sched, trace=trace)
+        stats = res.stats
+        granules = [s for s in trace.spans if s.name == "granule"]
+        assert len(granules) == stats.granules_total > 0
+        for attr, want in (("rows", stats.rows_scanned),
+                           ("pruned", stats.granules_pruned),
+                           ("cache_hits", stats.cache_hits),
+                           ("cache_misses", stats.cache_misses)):
+            assert sum(s.attrs[attr] for s in granules) == want, attr
+        # every granule ran in a worker: real pid, proc attribution
+        here = os.getpid()
+        assert {s.attrs["proc"] for s in granules} <= {"w0", "w1"}
+        assert all(s.pid and s.pid != here for s in granules)
+        # driver-side spans (admit, merge) stay on the driver row;
+        # worker-side ones (granule, load, ...) all carry proc + pid
+        driver_spans = [s for s in trace.spans
+                        if "proc" not in s.attrs]
+        assert {s.name for s in driver_spans} >= {"admit"}
+        assert all(s.pid == 0 for s in driver_spans)
+        assert all(s.pid for s in trace.spans if "proc" in s.attrs)
+
+    def test_chrome_export_shows_worker_process_rows(self, source,
+                                                     sched):
+        trace = Trace("q")
+        FILTER_PLAN.execute(source, scheduler=sched, trace=trace)
+        exported = trace.to_chrome()
+        meta = [e for e in exported if e["ph"] == "M"]
+        events = [e for e in exported if e["ph"] == "X"]
+        names = {m["args"]["name"] for m in meta}
+        assert "driver" in names and names & {"w0", "w1"}
+        assert len({e["pid"] for e in events}) >= 2
+        timestamps = [e["ts"] for e in events]
+        assert timestamps == sorted(timestamps)
+        assert all(t >= 0 for t in timestamps)
+
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_traced_equivalence_across_tiers(self, source, method):
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{method} unavailable")
+        thread_trace = Trace("thread")
+        FILTER_PLAN.execute(source, threads=1, trace=thread_trace)
+        proc_trace = Trace("proc")
+        with ProcessScheduler(workers=2, start_method=method,
+                              name=f"obs-{method}") as sched:
+            FILTER_PLAN.execute(source, scheduler=sched,
+                                trace=proc_trace)
+        g_thread = [s for s in thread_trace.spans
+                    if s.name == "granule"]
+        g_proc = [s for s in proc_trace.spans if s.name == "granule"]
+        assert len(g_thread) == len(g_proc) > 0
+        # rows and prune decisions are tier-invariant; so is *total*
+        # cache traffic (the hit/miss split depends on which per-worker
+        # cache each granule landed in, so only the sum is comparable)
+        for attr in ("rows", "pruned"):
+            assert sum(s.attrs[attr] for s in g_thread) \
+                == sum(s.attrs[attr] for s in g_proc), attr
+        lookups = [sum(s.attrs["cache_hits"] + s.attrs["cache_misses"]
+                       for s in spans)
+                   for spans in (g_thread, g_proc)]
+        assert lookups[0] == lookups[1]
+
+    def test_kill_switch_suppresses_worker_telemetry(self, source):
+        """``set_enabled(False)`` before the scheduler spawns reaches
+        the workers: no counter family moves, locally or merged."""
+        families = ("repro_cache_lookups_total",
+                    "repro_par_worker_granules_total",
+                    "repro_exec_granules_total",
+                    "repro_par_respawns_total")
+        before = parse_text(render_text())
+        set_enabled(False)
+        try:
+            with ProcessScheduler(workers=1, name="obs-off") as sched:
+                res = FILTER_PLAN.execute(source, scheduler=sched)
+        finally:
+            set_enabled(True)
+        after = parse_text(render_text())
+        assert len(res.row_ids) > 0  # the query itself still works
+        for fam in families:
+            assert self._family_total(after, fam) \
+                == self._family_total(before, fam), fam
